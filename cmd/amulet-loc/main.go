@@ -1,0 +1,20 @@
+// Command amulet-loc prints the per-defense integration cost table (the
+// paper's Table 11 analogue): how much code each defense adapter needs on
+// top of the shared, defense-independent harness.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/sith-lab/amulet-go/internal/experiments"
+)
+
+func main() {
+	t, err := experiments.Table11()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amulet-loc:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+}

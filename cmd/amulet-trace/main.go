@@ -1,0 +1,90 @@
+// Command amulet-trace runs a single generated test case on a defense and
+// dumps everything AMuLeT-Go sees: the program, the contract trace, the
+// µarch trace and the simulator debug log. It is the "look at one test
+// under the microscope" tool used when studying the pipeline or a defense.
+//
+// Usage:
+//
+//	amulet-trace -defense invisispec -seed 7 -program 3 -input 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/experiments"
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+func main() {
+	var (
+		defense = flag.String("defense", "baseline", "defense configuration")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		program = flag.Int("program", 0, "program index within the seed's stream")
+		input   = flag.Int("input", 0, "input index within the program")
+		prime   = flag.Bool("prime", true, "prime the L1D with conflicting lines before the run")
+	)
+	flag.Parse()
+
+	spec, err := experiments.DefenseByName(*defense)
+	if err != nil {
+		fatal(err)
+	}
+	gcfg := generator.DefaultConfig()
+	gcfg.Seed = *seed
+	gcfg.Pages = spec.Pages
+	g := generator.New(gcfg)
+	sb := g.Sandbox()
+
+	var prog *isa.Program
+	for i := 0; i <= *program; i++ {
+		prog = g.Program()
+	}
+	var in *isa.Input
+	for i := 0; i <= *input; i++ {
+		in = g.Input()
+	}
+
+	fmt.Printf("=== test program (defense=%s seed=%d program=%d input=%d) ===\n%s\n",
+		spec.Name, *seed, *program, *input, prog)
+
+	md := contract.NewModel(spec.Contract, prog, sb)
+	ctrace, usage := md.Collect(in)
+	fmt.Printf("=== contract trace (%s, %d observations, hash %#x) ===\n%s\n\n",
+		spec.Contract.Name, len(ctrace), ctrace.Hash(), ctrace)
+	fmt.Printf("architecturally loaded bytes: %d; live-in registers: %#x\n\n",
+		len(usage.LoadedBytes), usage.LiveInRegs)
+
+	core := uarch.NewCore(uarch.DefaultConfig(), spec.Factory())
+	if err := core.LoadTest(prog, sb); err != nil {
+		fatal(err)
+	}
+	core.ResetUarch()
+	if *prime {
+		core.Hier.PrimeL1D()
+	}
+	core.Log.Enabled = true
+	core.ResetForInput(in)
+	if err := core.Run(); err != nil {
+		fatal(err)
+	}
+
+	st := core.Stats()
+	fmt.Printf("=== simulation ===\ncycles=%d fetched=%d committed=%d squashed=%d mispredicts=%d memOrderViolations=%d\n",
+		st.Cycles, st.Fetched, st.Committed, st.Squashed, st.Mispredicts, st.MemOrderViolations)
+	fmt.Printf("L1D accesses=%d misses=%d TLB misses=%d\n\n", st.L1DAccesses, st.L1DMisses, st.TLBMisses)
+
+	fmt.Printf("=== µarch trace ===\nL1D tags: %#x\nD-TLB pages: %#x\nL1I tags: %#x\n\n",
+		core.Hier.L1D.Snapshot(), core.Hier.DTLB.Snapshot(), core.Hier.L1I.Snapshot())
+
+	fmt.Printf("=== debug log (%d records) ===\n%s", len(core.Log.Recs), core.Log.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amulet-trace:", err)
+	os.Exit(1)
+}

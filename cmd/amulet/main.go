@@ -1,0 +1,249 @@
+// Command amulet runs AMuLeT-Go testing campaigns against secure
+// speculation countermeasures and regenerates the paper's evaluation
+// tables.
+//
+// Usage:
+//
+//	amulet -defense speclfb -programs 200 -instances 4 -report
+//	amulet -experiment table4
+//	amulet -experiment table6 -scale paper
+//	amulet -list
+//
+// Without -experiment, amulet runs one campaign against the selected
+// defense and prints a summary (and, with -report, the analyzed violation
+// reports in the style of the paper's figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sith-lab/amulet-go/internal/analysis"
+	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/experiments"
+	"github.com/sith-lab/amulet-go/internal/fuzzer"
+)
+
+func main() {
+	var (
+		defense    = flag.String("defense", "baseline", "target defense configuration ("+strings.Join(experiments.DefenseNames(), ", ")+")")
+		contractFl = flag.String("contract", "", "override the contract (CT-SEQ, CT-COND, ARCH-SEQ)")
+		instances  = flag.Int("instances", 4, "parallel AMuLeT instances")
+		programs   = flag.Int("programs", 100, "test programs per instance")
+		baseInputs = flag.Int("base-inputs", 8, "base inputs per program")
+		mutants    = flag.Int("mutants", 5, "contract-preserving mutants per base input")
+		seed       = flag.Int64("seed", 1, "campaign seed")
+		ways       = flag.Int("l1d-ways", 0, "override L1D associativity (leakage amplification)")
+		mshrs      = flag.Int("mshrs", 0, "override MSHR count (leakage amplification)")
+		pages      = flag.Int("pages", 0, "override sandbox pages")
+		naive      = flag.Bool("naive", false, "use the Naive strategy (restart per input)")
+		format     = flag.String("format", "", "µarch trace format: l1d-tlb, l1d-tlb-l1i, bp-state, mem-order, branch-order")
+		stopFirst  = flag.Bool("stop-on-first", false, "stop each instance at its first confirmed violation")
+		report     = flag.Bool("report", false, "analyze and print violation reports (paper-figure style)")
+		minimize   = flag.Bool("minimize", false, "with -report: also minimize each violation to its gadget")
+		experiment = flag.String("experiment", "", "regenerate a paper table: table2, table3, table4, table5, table6, table8, table11, figures; or 'compare' for the extended defense comparison")
+		scaleName  = flag.String("scale", "quick", "experiment scale: quick or paper")
+		list       = flag.Bool("list", false, "list available defenses and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available defense configurations:")
+		for _, d := range experiments.AllDefenses() {
+			fmt.Printf("  %-22s contract=%-9s prime=%-10s sandbox=%d page(s)\n",
+				d.Name, d.Contract.Name, d.Prime, d.Pages)
+		}
+		return
+	}
+
+	if *experiment != "" {
+		if err := runExperiment(*experiment, *scaleName); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	spec, err := experiments.DefenseByName(*defense)
+	if err != nil {
+		fatal(err)
+	}
+	scale := experiments.Scale{
+		Instances:  *instances,
+		Programs:   *programs,
+		BaseInputs: *baseInputs,
+		Mutants:    *mutants,
+		BootInsts:  executor.DefaultBootInsts,
+		Seed:       *seed,
+	}
+	ccfg := experiments.CampaignConfig(spec, scale)
+	if *contractFl != "" {
+		c, err := contract.ByName(*contractFl)
+		if err != nil {
+			fatal(err)
+		}
+		ccfg.Base.Contract = c
+	}
+	if *ways > 0 {
+		ccfg.Base.Exec.Core.Hier.L1D.Ways = *ways
+	}
+	if *mshrs > 0 {
+		ccfg.Base.Exec.Core.Hier.MSHRs = *mshrs
+	}
+	if *pages > 0 {
+		ccfg.Base.Gen.Pages = *pages
+	}
+	if *naive {
+		ccfg.Base.Exec.Strategy = executor.StrategyNaive
+	}
+	if *format != "" {
+		f, err := parseFormat(*format)
+		if err != nil {
+			fatal(err)
+		}
+		ccfg.Base.Exec.Format = f
+	}
+	ccfg.Base.StopOnFirstViolation = *stopFirst
+
+	fmt.Printf("testing %s against %s: %d instance(s) x %d program(s) x %d input(s)\n",
+		spec.Name, ccfg.Base.Contract.Name, ccfg.Instances, ccfg.Base.Programs,
+		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput))
+	res, err := fuzzer.RunCampaign(ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(res)
+
+	if *report && len(res.Violations) > 0 {
+		exec := executor.New(ccfg.Base.Exec, spec.Factory())
+		max := 3
+		for i, v := range res.Violations {
+			if i >= max {
+				fmt.Printf("... (%d more violations)\n", len(res.Violations)-max)
+				break
+			}
+			rep, err := analysis.Analyze(exec, v)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(rep)
+			if *minimize {
+				min, removed, err := analysis.Minimize(exec, ccfg.Base.Contract, v)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("minimized gadget (%d of %d instructions removed):\n%s\n",
+					removed, v.Program.Len(), analysis.Compact(min.Program))
+			}
+		}
+	}
+}
+
+func printSummary(res *fuzzer.CampaignResult) {
+	fmt.Printf("campaign time:     %v\n", res.Elapsed.Round(1e6))
+	fmt.Printf("test cases:        %d (%.0f/s)\n", res.TestCases, res.Throughput())
+	fmt.Printf("violations:        %d\n", len(res.Violations))
+	if d, ok := res.AvgDetectionTime(); ok {
+		fmt.Printf("avg detection:     %v\n", d.Round(1e6))
+	}
+	if len(res.Violations) > 0 {
+		fmt.Printf("contract violated: YES — the defense leaks more than its contract allows\n")
+	} else {
+		fmt.Printf("contract violated: no violation found at this budget\n")
+	}
+}
+
+func runExperiment(name, scaleName string) error {
+	var scale experiments.Scale
+	switch scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (quick or paper)", scaleName)
+	}
+	switch name {
+	case "table2":
+		t, err := experiments.Table2(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "table3":
+		t, err := experiments.Table3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "table4":
+		r, err := experiments.Table4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table)
+	case "figures":
+		r, err := experiments.Table4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table)
+		fmt.Println(experiments.FigureReports(r))
+	case "table5":
+		t, err := experiments.Table5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "table6":
+		t, err := experiments.Table6(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "table8":
+		t, err := experiments.Table8(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "table11":
+		t, err := experiments.Table11()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "compare":
+		t, err := experiments.DefenseComparison(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func parseFormat(s string) (executor.TraceFormat, error) {
+	switch s {
+	case "l1d-tlb":
+		return executor.FormatL1DTLB, nil
+	case "l1d-tlb-l1i":
+		return executor.FormatL1DTLBL1I, nil
+	case "bp-state":
+		return executor.FormatBPState, nil
+	case "mem-order":
+		return executor.FormatMemOrder, nil
+	case "branch-order":
+		return executor.FormatBranchOrder, nil
+	}
+	return 0, fmt.Errorf("unknown trace format %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amulet:", err)
+	os.Exit(1)
+}

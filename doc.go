@@ -1,0 +1,29 @@
+// Package amulet is AMuLeT-Go: a from-scratch Go reproduction of
+// "AMuLeT: Automated Design-Time Testing of Secure Speculation
+// Countermeasures" (ASPLOS 2025).
+//
+// AMuLeT applies model-based relational testing to micro-architectural
+// simulators: it generates random test programs and contract-equivalent
+// input pairs, runs them on a functional leakage model and on a simulated
+// out-of-order CPU with a secure-speculation countermeasure attached, and
+// flags any pair whose micro-architectural traces differ even though the
+// contract says they must be indistinguishable.
+//
+// The repository contains the complete stack the paper's artifact relies
+// on, re-implemented in Go with only the standard library: an ISA and
+// functional emulator (the Unicorn stand-in), leakage contracts (CT-SEQ,
+// CT-COND, ARCH-SEQ), a cycle-driven out-of-order core with caches, MSHRs,
+// TLB and predictors (the gem5 stand-in), the four countermeasures the
+// paper tests — InvisiSpec, CleanupSpec, STT and SpecLFB, each with the
+// implementation bugs the paper discovered and patch switches — and the
+// fuzzer, analysis and experiment layers on top.
+//
+// Entry points:
+//
+//   - cmd/amulet: run campaigns and regenerate the paper's tables
+//   - cmd/amulet-trace: run one test case under the microscope
+//   - examples/: runnable walkthroughs of the paper's case studies
+//   - bench_test.go: one benchmark per evaluation table/figure
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package amulet

@@ -1,0 +1,211 @@
+package contract
+
+import (
+	"github.com/sith-lab/amulet-go/internal/emu"
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// Usage summarizes which parts of the input the architectural execution
+// path actually consumed. The input mutator uses it to randomize only state
+// that cannot influence the contract trace (AMuLeT's contract-preserving
+// input mutation): memory bytes never loaded and registers never read
+// before being written are free to vary.
+type Usage struct {
+	// LoadedBytes marks sandbox offsets whose *initial* value was read by an
+	// architectural load, i.e. offsets loaded before any architectural store
+	// clobbered them. Offsets that are stored first and only read afterwards
+	// are not recorded: their initial content never reaches the
+	// architectural data flow, which is exactly what makes them usable as
+	// Spectre-v4 secrets.
+	LoadedBytes map[uint64]bool
+	// clobbered marks offsets overwritten by an architectural store.
+	clobbered map[uint64]bool
+	// LiveInRegs is a bitmask of registers read on the architectural path
+	// before being written.
+	LiveInRegs uint16
+}
+
+// NewUsage returns an empty usage summary.
+func NewUsage() *Usage {
+	return &Usage{LoadedBytes: make(map[uint64]bool), clobbered: make(map[uint64]bool)}
+}
+
+// RegLiveIn reports whether register r was consumed before being defined.
+func (u *Usage) RegLiveIn(r isa.Reg) bool { return u.LiveInRegs&(1<<uint(r)) != 0 }
+
+// Model is the executable leakage model: it runs test cases on the
+// functional emulator and produces contract traces. One Model is reusable
+// across inputs of the same program (the emulator is reset per input).
+type Model struct {
+	C    Contract
+	prog *isa.Program
+	sb   isa.Sandbox
+	m    *emu.Machine
+
+	// per-run state
+	trace   Trace
+	usage   *Usage
+	depth   int
+	written uint16 // registers defined so far on the arch path
+}
+
+// MaxSteps bounds the architectural instruction count per test case. The
+// generator emits DAG programs, so this is a defensive limit only.
+const MaxSteps = 4096
+
+// NewModel builds a leakage model for program p under contract c.
+func NewModel(c Contract, p *isa.Program, sb isa.Sandbox) *Model {
+	md := &Model{C: c, prog: p, sb: sb}
+	md.m = emu.New(p, sb, isa.NewInput(sb))
+	md.m.Hooks = emu.Hooks{
+		OnPC:    md.onPC,
+		OnLoad:  md.onLoad,
+		OnStore: md.onStore,
+	}
+	return md
+}
+
+// Collect executes the test case (p, in) under the contract and returns the
+// contract trace together with the architectural usage summary.
+func (md *Model) Collect(in *isa.Input) (Trace, *Usage) {
+	md.m.LoadInput(in)
+	md.trace = md.trace[:0]
+	md.usage = NewUsage()
+	md.depth = 0
+	md.written = 0
+
+	if md.C.ObserveInitRegs {
+		for _, v := range in.Regs {
+			md.trace = append(md.trace, Obs{Kind: ObsInitReg, V: v})
+		}
+	}
+	md.runArch()
+
+	out := make(Trace, len(md.trace))
+	copy(out, md.trace)
+	return out, md.usage
+}
+
+// runArch executes the architectural path to completion, forking a
+// speculative excursion at each conditional branch when the contract's
+// execution clause demands it.
+func (md *Model) runArch() {
+	steps := 0
+	for !md.m.Done() && steps < MaxSteps {
+		md.maybeExplore()
+		md.trackUsage()
+		md.m.Step()
+		steps++
+	}
+}
+
+// maybeExplore forks execution down the mispredicted direction of the
+// branch about to execute, bounded by the contract's speculative window and
+// nesting depth. Observations made on the speculative path are part of the
+// contract trace: the contract declares that leakage expected.
+func (md *Model) maybeExplore() {
+	if !md.C.SpecBranches || md.depth >= md.C.MaxNesting {
+		return
+	}
+	in := md.m.CurInst()
+	if in.Op != isa.OpBranch {
+		return
+	}
+	taken := md.m.Flags.Eval(in.Cond)
+	wrong := in.Target
+	if taken {
+		wrong = md.m.PCIdx + 1
+	}
+	md.m.Checkpoint()
+	md.m.PCIdx = wrong
+	md.depth++
+	md.runSpec(md.C.SpecWindow)
+	md.depth--
+	md.m.Rollback()
+}
+
+// runSpec executes up to window instructions on a speculative path,
+// recursively exploring nested mispredictions while depth remains.
+func (md *Model) runSpec(window int) {
+	for i := 0; i < window && !md.m.Done(); i++ {
+		md.maybeExplore()
+		md.m.Step()
+	}
+}
+
+// trackUsage records register/memory liveness for the instruction about to
+// execute, on the architectural path only.
+func (md *Model) trackUsage() {
+	if md.depth != 0 {
+		return
+	}
+	in := md.m.CurInst()
+	readReg := func(r isa.Reg) {
+		if md.written&(1<<uint(r)) == 0 {
+			md.usage.LiveInRegs |= 1 << uint(r)
+		}
+	}
+	switch {
+	case in.Op == isa.OpMovImm:
+		// no register sources
+	case in.Op == isa.OpCmov:
+		readReg(in.Src1)
+		readReg(in.Dst) // CMOV may keep the old destination value
+	case in.Op == isa.OpMov:
+		readReg(in.Src1)
+	case in.Op.IsALU():
+		readReg(in.Src1)
+		if !in.UseImm {
+			readReg(in.Src2)
+		}
+	case in.Op == isa.OpLoad:
+		readReg(in.Src1)
+	case in.Op == isa.OpStore:
+		readReg(in.Src1)
+		readReg(in.Src2)
+	}
+	if in.Op.IsALU() && in.Op != isa.OpCmp {
+		md.written |= 1 << uint(in.Dst)
+	}
+	if in.Op == isa.OpLoad {
+		md.written |= 1 << uint(in.Dst)
+	}
+}
+
+func (md *Model) onPC(pc uint64) {
+	if md.C.ObservePC {
+		md.trace = append(md.trace, Obs{Kind: ObsPC, V: pc})
+	}
+}
+
+func (md *Model) onLoad(pc, addr uint64, size uint8, val uint64) {
+	if md.C.ObserveMemAddr {
+		md.trace = append(md.trace, Obs{Kind: ObsLoadAddr, V: addr})
+	}
+	if md.C.ObserveLoadVal {
+		md.trace = append(md.trace, Obs{Kind: ObsLoadVal, V: val})
+	}
+	if md.depth == 0 {
+		// Record every byte whose initial content the architectural load
+		// consumed. Bytes already clobbered by an older store carry program
+		// data, not input data.
+		for k := uint8(0); k < size; k++ {
+			off := (md.sb.ByteAddr(addr, k) - isa.DataBase) & md.sb.Mask()
+			if !md.usage.clobbered[off] {
+				md.usage.LoadedBytes[off] = true
+			}
+		}
+	}
+}
+
+func (md *Model) onStore(pc, addr uint64, size uint8, val uint64) {
+	if md.C.ObserveMemAddr {
+		md.trace = append(md.trace, Obs{Kind: ObsStoreAddr, V: addr})
+	}
+	if md.depth == 0 {
+		for k := uint8(0); k < size; k++ {
+			off := (md.sb.ByteAddr(addr, k) - isa.DataBase) & md.sb.Mask()
+			md.usage.clobbered[off] = true
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package baseline provides the unprotected out-of-order CPU configuration:
+// the insecure O3CPU the paper tests first (§4.2), on which AMuLeT detects
+// Spectre-v1 (CT-SEQ violations) and Spectre-v4 (CT-COND violations).
+package baseline
+
+import "github.com/sith-lab/amulet-go/internal/uarch"
+
+// New returns the no-op defense: speculative loads and stores touch the
+// caches and TLB directly.
+func New() uarch.Defense { return uarch.NopDefense{} }

@@ -1,0 +1,31 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/defense/baseline"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/testgadget"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// TestBaselineLeaksByConstruction: the unprotected configuration leaks the
+// canonical gadget — the positive control the defense tests compare to.
+func TestBaselineLeaksByConstruction(t *testing.T) {
+	sb := isa.Sandbox{Pages: 1}
+	prog := testgadget.SpectreV1RegSecret(20)
+	inA := testgadget.BoundsInput(sb)
+	inA.Regs[9] = 0x100
+	inB := testgadget.BoundsInput(sb)
+	inB.Regs[9] = 0x900
+
+	core := uarch.NewCore(uarch.DefaultConfig(), baseline.New())
+	snapA := testgadget.Run(core, prog, sb, inA, testgadget.PrimeInvalidate)
+	snapB := testgadget.Run(core, prog, sb, inB, testgadget.PrimeInvalidate)
+	if snapA.EqualCaches(snapB) {
+		t.Errorf("baseline did not leak the v1 gadget")
+	}
+	if core.Defense().Name() != "Baseline" {
+		t.Errorf("name = %q", core.Defense().Name())
+	}
+}

@@ -1,0 +1,225 @@
+// Package cleanupspec re-implements the CleanupSpec countermeasure
+// (Saileshwar & Qureshi, MICRO 2019) as it appears in the open-source gem5
+// code base the paper tested. Speculative loads modify the cache freely;
+// undo metadata recorded at access time lets the defense roll the changes
+// back when the load squashes. The package reproduces the three problems
+// AMuLeT found in that code base:
+//
+//   - UV3: writeCallback() records no cleanup metadata for speculative
+//     stores, so their cache installs survive squashes (gated by PatchUV3).
+//   - UV4: requests crossing a cache-line boundary (split requests) are
+//     never cleaned — the literal `// TODO: Cleanup for SplitReq` in the
+//     artifact (gated by FixSplitCleanup).
+//   - UV5: rollback is oblivious to non-speculative loads that touched the
+//     same line, so cleaning erases their footprint too ("too much
+//     cleaning"); this is inherent to the rollback scheme as implemented.
+//
+// Rollback work sits on the squash critical path, which is the timing
+// difference behind the unXpec vulnerability (KV2).
+package cleanupspec
+
+import (
+	"github.com/sith-lab/amulet-go/internal/mem"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// Config selects the implementation variant under test.
+type Config struct {
+	// PatchUV3 makes speculative stores record cleanup metadata, like the
+	// paper's fix for the missing writeCallback() tracking.
+	PatchUV3 bool
+	// FixSplitCleanup resolves the UV4 TODO: split requests get cleaned.
+	FixSplitCleanup bool
+	// CleanupCycles is the rollback latency per cleaned line (squash
+	// critical path). Zero selects the default.
+	CleanupCycles int
+}
+
+const defaultCleanupCycles = 8
+
+// CleanupSpec implements uarch.Defense.
+type CleanupSpec struct {
+	cfg Config
+	c   *uarch.Core
+
+	meta map[uint64]*undoMeta // per speculative access, keyed by sequence
+}
+
+// undoMeta is the cleanup metadata of one speculative access.
+type undoMeta struct {
+	lines []lineMeta
+	split bool
+}
+
+type lineMeta struct {
+	line      uint64
+	l1Hit     bool
+	fillID    uint64
+	installed bool   // fill completed, line is in the cache
+	victim    uint64 // line evicted by the install
+	hasVictim bool
+}
+
+// New builds the defense.
+func New(cfg Config) *CleanupSpec {
+	if cfg.CleanupCycles == 0 {
+		cfg.CleanupCycles = defaultCleanupCycles
+	}
+	return &CleanupSpec{cfg: cfg, meta: make(map[uint64]*undoMeta)}
+}
+
+// Name implements uarch.Defense.
+func (cs *CleanupSpec) Name() string {
+	if cs.cfg.PatchUV3 {
+		return "CleanupSpec-Patched"
+	}
+	return "CleanupSpec"
+}
+
+// Attach implements uarch.Defense.
+func (cs *CleanupSpec) Attach(c *uarch.Core) { cs.c = c }
+
+// Reset implements uarch.Defense.
+func (cs *CleanupSpec) Reset() {
+	for k := range cs.meta {
+		delete(cs.meta, k)
+	}
+}
+
+// LoadAction implements uarch.Defense: loads always access the cache
+// normally — CleanupSpec is an undo scheme, not an invisibility scheme.
+func (cs *CleanupSpec) LoadAction(*uarch.DynInst, bool) uarch.LoadAction {
+	return uarch.LoadAction{UpdateLRU: true, Sink: mem.SinkCache, TLBInstall: true}
+}
+
+// StoreAction implements uarch.Defense: the code base write-allocates the
+// store's line at execute time (the writeCallback path), which is what UV3
+// leaves uncleaned.
+func (cs *CleanupSpec) StoreAction(*uarch.DynInst, bool) uarch.StoreAction {
+	return uarch.StoreAction{TLBAccess: true, TLBInstall: true, PrefetchLine: true}
+}
+
+// OnLoadExecuted implements uarch.Defense: record undo metadata for
+// speculative loads.
+func (cs *CleanupSpec) OnLoadExecuted(ld *uarch.DynInst, res1, res2 mem.DataAccessResult) {
+	if !ld.SpecAtIssue || ld.Forwarded {
+		return
+	}
+	cs.record(ld, res1, res2)
+}
+
+// OnStoreExecuted implements uarch.Defense: the unpatched code base forgets
+// to record metadata for speculative stores (UV3).
+func (cs *CleanupSpec) OnStoreExecuted(st *uarch.DynInst, res1, res2 mem.DataAccessResult) {
+	if !st.SpecAtIssue {
+		return
+	}
+	if !cs.cfg.PatchUV3 {
+		return // BUG (UV3): writeCallback() skips the cleanup metadata.
+	}
+	cs.record(st, res1, res2)
+}
+
+func (cs *CleanupSpec) record(in *uarch.DynInst, res1, res2 mem.DataAccessResult) {
+	m := &undoMeta{split: in.IsSplit}
+	m.lines = append(m.lines, lineMeta{
+		line:   cs.c.Hier.L1D.LineAddr(in.EffAddr),
+		l1Hit:  res1.L1Hit,
+		fillID: res1.FillID,
+	})
+	if in.IsSplit {
+		m.lines = append(m.lines, lineMeta{line: in.Line2, l1Hit: res2.L1Hit, fillID: res2.FillID})
+	}
+	cs.meta[in.Seq] = m
+}
+
+// OnResult implements uarch.Defense.
+func (cs *CleanupSpec) OnResult(*uarch.DynInst) {}
+
+// OnBranchResolved implements uarch.Defense.
+func (cs *CleanupSpec) OnBranchResolved(*uarch.DynInst) {}
+
+// OnCommit implements uarch.Defense: committed accesses are safe, their
+// metadata is retired without cleanup.
+func (cs *CleanupSpec) OnCommit(in *uarch.DynInst) {
+	delete(cs.meta, in.Seq)
+}
+
+// OnFills implements uarch.Defense: learn which line a speculative access
+// installed and whom it evicted, so rollback can restore the victim.
+func (cs *CleanupSpec) OnFills(fills []mem.CompletedFill) {
+	for _, f := range fills {
+		if f.Sink != mem.SinkCache {
+			continue
+		}
+		m, ok := cs.meta[f.Owner]
+		if !ok {
+			continue
+		}
+		for i := range m.lines {
+			if m.lines[i].fillID == f.ID {
+				m.lines[i].installed = true
+				m.lines[i].victim = f.Victim
+				m.lines[i].hasVictim = f.Evicted
+			}
+		}
+	}
+}
+
+// OnTick implements uarch.Defense.
+func (cs *CleanupSpec) OnTick() {}
+
+// OnSquash implements uarch.Defense: roll back the cache state changes of
+// every squashed speculative access that has metadata. Each rollback
+// operation occupies an MSHR for CleanupCycles (the restore fetches the
+// victim line from L2), so cleanup work sits on the critical path of
+// subsequent memory accesses — the timing channel behind unXpec (KV2):
+// inputs that need more cleaning finish later, and the fetch unit running
+// ahead of the slower drain installs extra lines into the L1I.
+func (cs *CleanupSpec) OnSquash(squashed []*uarch.DynInst) int {
+	ops := 0
+	now := cs.c.Now()
+	for _, in := range squashed {
+		m, ok := cs.meta[in.Seq]
+		if !ok {
+			continue
+		}
+		delete(cs.meta, in.Seq)
+		if m.split && !cs.cfg.FixSplitCleanup {
+			// BUG (UV4): `// TODO: Cleanup for SplitReq` — squashed split
+			// requests are not cleaned at all.
+			continue
+		}
+		for _, lm := range m.lines {
+			if lm.l1Hit {
+				continue // the access changed no tag state
+			}
+			if !lm.installed {
+				// Fill still in flight: cancel it before it lands.
+				cs.c.Hier.CancelFill(lm.fillID)
+				continue
+			}
+			// Invalidate the speculatively installed line. This is the "too
+			// much cleaning" vulnerability (UV5): any non-speculative load
+			// that hit this line loses its footprint too, because the
+			// metadata cannot tell the difference.
+			cs.c.Hier.L1D.Invalidate(lm.line)
+			cs.c.Log.Add(now, in.Seq, in.PC, uarch.LogUndo, lm.line)
+			ops++
+			if lm.hasVictim {
+				// Restore the evicted line from L2.
+				cs.c.Hier.L1D.Install(lm.victim)
+				ops++
+			}
+		}
+	}
+	// Rollback work blocks the L1D port: subsequent accesses wait for it.
+	if ops > 0 {
+		cs.c.Hier.BlockDataPort(now + uint64(ops*cs.cfg.CleanupCycles))
+	}
+	return 0
+}
+
+// PendingMeta returns how many speculative accesses currently hold undo
+// metadata (tests).
+func (cs *CleanupSpec) PendingMeta() int { return len(cs.meta) }

@@ -1,0 +1,67 @@
+// Package fenceall implements the most conservative countermeasure: every
+// memory access is delayed until it leaves all branch shadows, equivalent
+// to fencing every branch. It trivially satisfies CT-SEQ and serves two
+// roles in this repository: a soundness control for the fuzzer (a campaign
+// that flags fenceall has a fuzzer bug) and the upper bound in the
+// defense-overhead comparison benchmarks.
+package fenceall
+
+import (
+	"github.com/sith-lab/amulet-go/internal/mem"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// FenceAll implements uarch.Defense.
+type FenceAll struct{}
+
+// New builds the defense.
+func New() *FenceAll { return &FenceAll{} }
+
+// Name implements uarch.Defense.
+func (FenceAll) Name() string { return "FenceAll" }
+
+// Attach implements uarch.Defense.
+func (FenceAll) Attach(*uarch.Core) {}
+
+// Reset implements uarch.Defense.
+func (FenceAll) Reset() {}
+
+// LoadAction implements uarch.Defense: no load issues under a shadow.
+func (FenceAll) LoadAction(_ *uarch.DynInst, spec bool) uarch.LoadAction {
+	if spec {
+		return uarch.LoadAction{Delay: true}
+	}
+	return uarch.LoadAction{UpdateLRU: true, Sink: mem.SinkCache, TLBInstall: true}
+}
+
+// StoreAction implements uarch.Defense: no store issues under a shadow.
+func (FenceAll) StoreAction(_ *uarch.DynInst, spec bool) uarch.StoreAction {
+	if spec {
+		return uarch.StoreAction{Delay: true}
+	}
+	return uarch.StoreAction{TLBAccess: true, TLBInstall: true}
+}
+
+// OnLoadExecuted implements uarch.Defense.
+func (FenceAll) OnLoadExecuted(*uarch.DynInst, mem.DataAccessResult, mem.DataAccessResult) {}
+
+// OnStoreExecuted implements uarch.Defense.
+func (FenceAll) OnStoreExecuted(*uarch.DynInst, mem.DataAccessResult, mem.DataAccessResult) {}
+
+// OnResult implements uarch.Defense.
+func (FenceAll) OnResult(*uarch.DynInst) {}
+
+// OnBranchResolved implements uarch.Defense.
+func (FenceAll) OnBranchResolved(*uarch.DynInst) {}
+
+// OnCommit implements uarch.Defense.
+func (FenceAll) OnCommit(*uarch.DynInst) {}
+
+// OnSquash implements uarch.Defense.
+func (FenceAll) OnSquash([]*uarch.DynInst) int { return 0 }
+
+// OnFills implements uarch.Defense.
+func (FenceAll) OnFills([]mem.CompletedFill) {}
+
+// OnTick implements uarch.Defense.
+func (FenceAll) OnTick() {}

@@ -1,0 +1,117 @@
+package ghostminion_test
+
+import (
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/defense/ghostminion"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/testgadget"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+func newCore(mshrs int) *uarch.Core {
+	c := uarch.DefaultConfig()
+	if mshrs > 0 {
+		c.Hier.MSHRs = mshrs
+		c.Hier.LatMem = 120
+	}
+	return uarch.NewCore(c, ghostminion.New())
+}
+
+// TestNoEvictionLeak: the UV1 gadget (speculative eviction) must be clean:
+// speculative misses neither install nor evict.
+func TestNoEvictionLeak(t *testing.T) {
+	sb := isa.Sandbox{Pages: 1}
+	prog := testgadget.SpectreV1RegSecret(120)
+	inA := testgadget.BoundsInput(sb)
+	inA.Regs[9] = 0x100
+	inB := testgadget.BoundsInput(sb)
+	inB.Regs[9] = 0x900
+
+	core := newCore(0)
+	snapA := testgadget.Run(core, prog, sb, inA, testgadget.PrimeFill)
+	snapB := testgadget.Run(core, prog, sb, inB, testgadget.PrimeFill)
+	if !snapA.EqualCaches(snapB) {
+		t.Errorf("GhostMinion leaked through cache state:\nA=%#x\nB=%#x", snapA.L1D, snapB.L1D)
+	}
+	if !snapA.EqualTLB(snapB) {
+		t.Errorf("GhostMinion leaked through TLB state")
+	}
+}
+
+// TestNoMSHRInterference: the exact UV2 gadget that breaks patched
+// InvisiSpec (wrong-path misses starving the commit-time install) must be
+// clean here — speculative requests never hold MSHRs, which is the
+// strictness-ordering property the paper points to as the fix.
+func TestNoMSHRInterference(t *testing.T) {
+	sb := isa.Sandbox{Pages: 1}
+	prog := &isa.Program{NumBlocks: 3}
+	prog.Insts = append(prog.Insts,
+		isa.Load(1, 0, 0, 8),
+		isa.CmpImm(1, 5),
+		isa.Branch(isa.CondEQ, 4),
+		isa.Nop(),
+		isa.Load(4, 2, 0, 8),
+		isa.CmpImm(1, 0),
+		isa.Branch(isa.CondNE, 10),
+		isa.Load(6, 9, 0, 8),
+		isa.Load(7, 9, 64, 8),
+		isa.Nop(),
+	)
+	for i := 0; i < 60; i++ {
+		prog.Insts = append(prog.Insts, isa.ALUImm(isa.OpAdd, 12, 12, 1))
+	}
+	mk := func(secret uint64) *isa.Input {
+		in := testgadget.BoundsInput(sb)
+		in.Regs[2] = 0x800
+		in.Regs[9] = secret
+		return in
+	}
+	inA, inB := mk(0x400), mk(0)
+
+	warmICache := func(c *uarch.Core) {
+		for i := 0; i <= len(prog.Insts)+32; i += 16 {
+			c.Hier.L1I.Install(isa.PCOf(i))
+			c.Hier.L2.Install(isa.PCOf(i))
+		}
+	}
+	core := newCore(2)
+	snapA := testgadget.RunWithSetup(core, prog, sb, inA, testgadget.PrimeFill, warmICache)
+	snapB := testgadget.RunWithSetup(core, prog, sb, inB, testgadget.PrimeFill, warmICache)
+
+	if !snapA.HasLine(testgadget.SandboxAddr(0x800)) || !snapB.HasLine(testgadget.SandboxAddr(0x800)) {
+		t.Errorf("committed speculative load V not installed: A=%v B=%v",
+			snapA.HasLine(testgadget.SandboxAddr(0x800)), snapB.HasLine(testgadget.SandboxAddr(0x800)))
+	}
+	if !snapA.EqualCaches(snapB) {
+		t.Errorf("GhostMinion shows MSHR interference:\nA=%#x\nB=%#x", snapA.L1D, snapB.L1D)
+	}
+}
+
+// TestCommittedSpecLoadBecomesVisible: correct speculation still warms the
+// cache (no permanent performance loss).
+func TestCommittedSpecLoadBecomesVisible(t *testing.T) {
+	sb := isa.Sandbox{Pages: 1}
+	prog := &isa.Program{NumBlocks: 2}
+	prog.Insts = append(prog.Insts,
+		isa.Load(1, 0, 0, 8),
+		isa.CmpImm(1, 5),
+		isa.Branch(isa.CondEQ, 5), // correctly predicted not-taken
+		isa.Load(2, 9, 0, 8),      // speculative; installs at commit
+		isa.Nop(),
+	)
+	for i := 0; i < 150; i++ {
+		prog.Insts = append(prog.Insts, isa.ALUImm(isa.OpAdd, 12, 12, 1))
+	}
+	in := testgadget.BoundsInput(sb)
+	in.Regs[9] = 0x500
+
+	core := newCore(0)
+	snap := testgadget.Run(core, prog, sb, in, testgadget.PrimeInvalidate)
+	if !snap.HasLine(testgadget.SandboxAddr(0x500)) {
+		t.Errorf("committed speculative load never became visible; L1D=%#x", snap.L1D)
+	}
+	if !snap.HasPage(testgadget.SandboxAddr(0x500)) {
+		t.Errorf("committed speculative load's translation missing; TLB=%#x", snap.TLB)
+	}
+}

@@ -1,0 +1,243 @@
+// Package executor generates micro-architectural traces from the simulator:
+// it owns a core with a defense attached, runs test cases on it, extracts
+// µarch traces in the formats the paper evaluates (Table 5), and implements
+// the Naive (restart per input) and Opt (restart per program) execution
+// strategies whose cost difference the paper's Tables 2 and 3 quantify.
+package executor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// TraceFormat selects what micro-architectural state the trace exposes,
+// i.e. the attacker's observational power.
+type TraceFormat int
+
+// Trace formats (paper §3.2 C1 and Table 5).
+const (
+	// FormatL1DTLB is the default: the final L1D-cache and D-TLB tag state,
+	// modelling a realistic same-core attacker probing memory-system side
+	// channels.
+	FormatL1DTLB TraceFormat = iota
+	// FormatL1DTLBL1I additionally exposes the L1 instruction cache
+	// (used to confirm InvisiSpec KV1 and CleanupSpec's unXpec KV2).
+	FormatL1DTLBL1I
+	// FormatBPState exposes the final branch-predictor state.
+	FormatBPState
+	// FormatMemOrder exposes the ordered list of all memory accesses
+	// (PC and address), an attacker physically probing the cache bus.
+	FormatMemOrder
+	// FormatBranchOrder exposes the ordered list of branch predictions.
+	FormatBranchOrder
+)
+
+var traceFormatNames = [...]string{
+	"L1D+TLB", "L1D+TLB+L1I", "BP state", "Memory access order", "Branch prediction order",
+}
+
+// String returns the format's name as used in the paper's Table 5.
+func (f TraceFormat) String() string {
+	if int(f) < len(traceFormatNames) && f >= 0 {
+		return traceFormatNames[f]
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// UTrace is one micro-architectural trace. Only the sections selected by
+// the trace format are populated.
+type UTrace struct {
+	Format TraceFormat
+
+	L1D []uint64 // sorted valid L1D line addresses
+	TLB []uint64 // sorted D-TLB page numbers
+	L1I []uint64 // sorted valid L1I line addresses
+
+	BPDigest uint64 // branch-predictor state digest
+
+	MemOrder    []uarch.AccessRec
+	BranchOrder []uarch.BranchRec
+
+	EndCycle uint64 // not part of equality; kept for analysis
+}
+
+// Hash returns a digest for fast grouping.
+func (t *UTrace) Hash() uint64 {
+	h := fnv.New64a()
+	w := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w(uint64(t.Format))
+	for _, v := range t.L1D {
+		w(v)
+	}
+	w(^uint64(0))
+	for _, v := range t.TLB {
+		w(v)
+	}
+	w(^uint64(0))
+	for _, v := range t.L1I {
+		w(v)
+	}
+	w(t.BPDigest)
+	for _, a := range t.MemOrder {
+		w(a.PC)
+		w(a.Addr)
+		if a.Store {
+			w(1)
+		}
+	}
+	w(^uint64(0))
+	for _, b := range t.BranchOrder {
+		w(b.PC)
+		w(b.Target)
+		if b.PredTaken {
+			w(1)
+		}
+	}
+	return h.Sum64()
+}
+
+// Equal reports whether two traces expose identical attacker observations.
+func (t *UTrace) Equal(u *UTrace) bool {
+	if t.Format != u.Format || t.BPDigest != u.BPDigest {
+		return false
+	}
+	if !eqU64(t.L1D, u.L1D) || !eqU64(t.TLB, u.TLB) || !eqU64(t.L1I, u.L1I) {
+		return false
+	}
+	if len(t.MemOrder) != len(u.MemOrder) || len(t.BranchOrder) != len(u.BranchOrder) {
+		return false
+	}
+	for i := range t.MemOrder {
+		if t.MemOrder[i] != u.MemOrder[i] {
+			return false
+		}
+	}
+	for i := range t.BranchOrder {
+		if t.BranchOrder[i] != u.BranchOrder[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff renders a human-readable comparison of two traces, in the style of
+// the paper's violation figures (addresses present in one state and absent
+// in the other).
+func (t *UTrace) Diff(u *UTrace) string {
+	var b strings.Builder
+	diffSet := func(name string, a, c []uint64) {
+		onlyA, onlyC := setDiff(a, c)
+		if len(onlyA) == 0 && len(onlyC) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		if len(onlyA) > 0 {
+			fmt.Fprintf(&b, "  only in A: %s\n", hexList(onlyA))
+		}
+		if len(onlyC) > 0 {
+			fmt.Fprintf(&b, "  only in B: %s\n", hexList(onlyC))
+		}
+	}
+	diffSet("L1D-cache tags", t.L1D, u.L1D)
+	diffSet("D-TLB pages", t.TLB, u.TLB)
+	diffSet("L1I-cache tags", t.L1I, u.L1I)
+	if t.BPDigest != u.BPDigest {
+		fmt.Fprintf(&b, "BP state: %#x vs %#x\n", t.BPDigest, u.BPDigest)
+	}
+	if len(t.MemOrder) > 0 || len(u.MemOrder) > 0 {
+		diffOrder(&b, "memory access order", len(t.MemOrder), len(u.MemOrder), func(i int) (string, string) {
+			var x, y string
+			if i < len(t.MemOrder) {
+				x = fmt.Sprintf("%#x->%#x", t.MemOrder[i].PC, t.MemOrder[i].Addr)
+			}
+			if i < len(u.MemOrder) {
+				y = fmt.Sprintf("%#x->%#x", u.MemOrder[i].PC, u.MemOrder[i].Addr)
+			}
+			return x, y
+		})
+	}
+	if len(t.BranchOrder) > 0 || len(u.BranchOrder) > 0 {
+		diffOrder(&b, "branch prediction order", len(t.BranchOrder), len(u.BranchOrder), func(i int) (string, string) {
+			var x, y string
+			if i < len(t.BranchOrder) {
+				x = fmt.Sprintf("%#x:%v", t.BranchOrder[i].PC, t.BranchOrder[i].PredTaken)
+			}
+			if i < len(u.BranchOrder) {
+				y = fmt.Sprintf("%#x:%v", u.BranchOrder[i].PC, u.BranchOrder[i].PredTaken)
+			}
+			return x, y
+		})
+	}
+	if b.Len() == 0 {
+		return "traces identical\n"
+	}
+	return b.String()
+}
+
+func diffOrder(b *strings.Builder, name string, la, lb int, at func(int) (string, string)) {
+	n := la
+	if lb > n {
+		n = lb
+	}
+	wrote := false
+	for i := 0; i < n; i++ {
+		x, y := at(i)
+		if x == y {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "%s:\n", name)
+			wrote = true
+		}
+		fmt.Fprintf(b, "  [%d] A=%s B=%s\n", i, x, y)
+	}
+}
+
+func setDiff(a, b []uint64) (onlyA, onlyB []uint64) {
+	inB := make(map[uint64]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	inA := make(map[uint64]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+		if !inB[v] {
+			onlyA = append(onlyA, v)
+		}
+	}
+	for _, v := range b {
+		if !inA[v] {
+			onlyB = append(onlyB, v)
+		}
+	}
+	return onlyA, onlyB
+}
+
+func hexList(vs []uint64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%#x", v)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps experiment tests fast; the benchmarks and cmd/amulet run
+// the real QuickScale/PaperScale budgets.
+func tinyScale() Scale {
+	return Scale{Instances: 2, Programs: 60, BaseInputs: 6, Mutants: 4, BootInsts: 1000, Seed: 1}
+}
+
+func TestDefenseRegistry(t *testing.T) {
+	if len(EvaluatedDefenses()) != 5 {
+		t.Fatalf("expected 5 evaluated defenses")
+	}
+	for _, name := range DefenseNames() {
+		spec, err := DefenseByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Factory == nil || spec.Contract.Name == "" {
+			t.Errorf("incomplete spec %q", name)
+		}
+		d := spec.Factory()
+		if d == nil {
+			t.Errorf("factory %q returned nil", name)
+		}
+	}
+	if _, err := DefenseByName("nonsense"); err == nil {
+		t.Errorf("unknown defense accepted")
+	}
+}
+
+func TestCampaignConfigMatchesSpec(t *testing.T) {
+	spec, err := DefenseByName("stt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CampaignConfig(spec, tinyScale())
+	if cfg.Base.Gen.Pages != 128 {
+		t.Errorf("STT sandbox pages = %d, want 128", cfg.Base.Gen.Pages)
+	}
+	if cfg.Base.Contract.Name != "ARCH-SEQ" {
+		t.Errorf("STT contract = %s", cfg.Base.Contract.Name)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note text"},
+	}
+	s := tb.String()
+	for _, want := range []string{"Demo", "a", "1", "note: note text"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tb, err := Table2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	// Shape: startup dominates Naive, simulation dominates Opt. The row
+	// strings carry percentages; assert coarsely via the raw rows.
+	if len(tb.Rows) < 6 {
+		t.Fatalf("unexpected table size")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	// Seed 3 is a known seed whose first instance hits the UV2 interference
+	// pattern within 200 programs; random seeds need the paper-scale budget
+	// (UV2 appears roughly once per ~20k test cases at this configuration).
+	sc := tinyScale()
+	sc.Seed = 3
+	sc.Instances = 2
+	sc.Programs = 200
+	sc.BaseInputs = 8
+	sc.Mutants = 5
+	tb, err := Table6(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	if got := tb.Rows[0][2]; got != "NO" {
+		t.Errorf("default config should be clean, got %q", got)
+	}
+	if got := tb.Rows[2][2]; !strings.HasPrefix(got, "YES") {
+		t.Errorf("2-MSHR config should violate (UV2), got %q", got)
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	sc := tinyScale()
+	sc.Instances = 2
+	tb, err := Table8(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	// The paper's matrix: UV3 disappears with the patch, UV4/UV5 remain.
+	if tb.Rows[0][1] != "YES" || tb.Rows[0][2] != "no" {
+		t.Errorf("UV3 row wrong: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][1] != "YES" || tb.Rows[1][2] != "YES" {
+		t.Errorf("UV4 row wrong: %v", tb.Rows[1])
+	}
+	if tb.Rows[2][1] != "YES" || tb.Rows[2][2] != "YES" {
+		t.Errorf("UV5 row wrong: %v", tb.Rows[2])
+	}
+}
+
+func TestTable11Counts(t *testing.T) {
+	tb, err := Table11()
+	if err != nil {
+		t.Skipf("source tree unavailable: %v", err)
+	}
+	t.Logf("\n%s", tb)
+	if len(tb.Rows) != 6 {
+		t.Errorf("expected 6 rows, got %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[1] == "0" {
+			t.Errorf("component %q has zero lines", r[0])
+		}
+	}
+}

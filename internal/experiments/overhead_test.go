@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestDefenseComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	sc := tinyScale()
+	sc.Programs = 60
+	tb, err := DefenseComparison(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(tb.Rows))
+	}
+	// The baseline must leak; the secure controls must not.
+	if tb.Rows[0][1] != "YES" {
+		t.Errorf("baseline did not violate CT-SEQ")
+	}
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "delayonmiss", "ghostminion", "fenceall":
+			if row[1] != "no" {
+				t.Errorf("%s flagged insecure (false positive)", row[0])
+			}
+		}
+	}
+}

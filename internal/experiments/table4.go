@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sith-lab/amulet-go/internal/analysis"
+	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/fuzzer"
+)
+
+// Table4Result carries the rendered table plus the per-defense example
+// violation reports (the material of the paper's Figures 4, 6, 8, 9 and
+// Tables 7, 9, 10).
+type Table4Result struct {
+	Table   *Table
+	Reports map[string]*analysis.Report // defense name -> first analyzed violation
+}
+
+// Table4 reproduces the paper's Table 4: the headline campaign over the
+// baseline and the four countermeasures with their matching contracts.
+// Expected shape: every target violates its contract; CleanupSpec and
+// SpecLFB campaigns are the fastest (clean-cache reset), InvisiSpec is
+// slower (conflict-fill priming), and STT is the slowest by far (128-page
+// sandbox, taint machinery) with the longest detection time.
+func Table4(scale Scale) (*Table4Result, error) {
+	out := &Table4Result{
+		Table: &Table{
+			Title: "Table 4: testing campaigns per defense",
+			Header: []string{"Defense", "Contract", "Detected?", "Avg detection",
+				"Unique violations", "Throughput (tests/s)", "Campaign time"},
+		},
+		Reports: map[string]*analysis.Report{},
+	}
+	for _, spec := range EvaluatedDefenses() {
+		ccfg := CampaignConfig(spec, scale)
+		res, err := fuzzer.RunCampaign(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		unique, firstReport, err := classifyViolations(spec, scale, res)
+		if err != nil {
+			return nil, err
+		}
+		if firstReport != nil {
+			out.Reports[spec.Name] = firstReport
+		}
+		detected := "NO"
+		if res.DetectedViolation() {
+			detected = "YES"
+		}
+		out.Table.Rows = append(out.Table.Rows, []string{
+			spec.Name,
+			spec.Contract.Name,
+			detected,
+			detTime(res),
+			fmt.Sprintf("%d", unique),
+			fmt.Sprintf("%.0f", res.Throughput()),
+			fmtDuration(res.Elapsed),
+		})
+	}
+	out.Table.Notes = append(out.Table.Notes,
+		"paper shape: every defense violates its contract; CleanupSpec/SpecLFB fastest, STT slowest")
+	return out, nil
+}
+
+// classifyViolations analyzes up to a handful of violations per defense
+// and counts distinct signatures (the paper's unique-violation counting).
+func classifyViolations(spec DefenseSpec, scale Scale, res *fuzzer.CampaignResult) (int, *analysis.Report, error) {
+	if len(res.Violations) == 0 {
+		return 0, nil, nil
+	}
+	cfg := CampaignConfig(spec, scale).Base
+	exec := executor.New(cfg.Exec, spec.Factory())
+	var reports []*analysis.Report
+	const maxAnalyzed = 12
+	for i, v := range res.Violations {
+		if i >= maxAnalyzed {
+			break
+		}
+		rep, err := analysis.Analyze(exec, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		reports = append(reports, rep)
+	}
+	groups := analysis.Dedup(reports)
+	return len(groups), reports[0], nil
+}
+
+// FigureReports renders the example-violation reports for the given
+// defenses (paper Figures 4, 6, 8, 9).
+func FigureReports(res *Table4Result, defenses ...string) string {
+	if len(defenses) == 0 {
+		for _, d := range EvaluatedDefenses() {
+			defenses = append(defenses, d.Name)
+		}
+	}
+	var b strings.Builder
+	for _, name := range defenses {
+		rep, ok := res.Reports[name]
+		if !ok {
+			fmt.Fprintf(&b, "--- %s: no violation found at this scale ---\n\n", name)
+			continue
+		}
+		b.WriteString(rep.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

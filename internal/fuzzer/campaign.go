@@ -1,0 +1,99 @@
+package fuzzer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CampaignConfig runs several fuzzing instances in parallel with distinct
+// seeds, the way the paper runs 16 or 100 parallel AMuLeT instances.
+type CampaignConfig struct {
+	Base      Config
+	Instances int
+	// MaxParallel bounds simultaneously running instances; zero uses
+	// GOMAXPROCS.
+	MaxParallel int
+}
+
+// CampaignResult aggregates instance results.
+type CampaignResult struct {
+	Instances  []*Result
+	Violations []*Violation
+	TestCases  int
+	Elapsed    time.Duration // wall-clock for the whole campaign
+}
+
+// Throughput returns aggregate test cases per second (wall clock).
+func (c *CampaignResult) Throughput() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return float64(c.TestCases) / c.Elapsed.Seconds()
+}
+
+// DetectedViolation reports whether any instance found a violation.
+func (c *CampaignResult) DetectedViolation() bool { return len(c.Violations) > 0 }
+
+// AvgDetectionTime averages time-to-first-violation over the instances
+// that found one; ok is false if none did.
+func (c *CampaignResult) AvgDetectionTime() (time.Duration, bool) {
+	var sum time.Duration
+	n := 0
+	for _, r := range c.Instances {
+		if d, ok := r.FirstDetection(); ok {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / time.Duration(n), true
+}
+
+// RunCampaign executes the configured instances concurrently.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("fuzzer: campaign needs at least one instance")
+	}
+	par := cfg.MaxParallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	results := make([]*Result, cfg.Instances)
+	errs := make([]error, cfg.Instances)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Instances; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inst := cfg.Base
+			// Distinct, well-spread seeds per instance.
+			inst.Seed = cfg.Base.Seed + int64(i)*0x3779b97f4a7c15
+			f, err := New(inst)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = f.Run()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &CampaignResult{Instances: results, Elapsed: time.Since(start)}
+	for _, r := range results {
+		out.TestCases += r.TestCases
+		out.Violations = append(out.Violations, r.Violations...)
+	}
+	return out, nil
+}

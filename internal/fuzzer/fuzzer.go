@@ -1,0 +1,301 @@
+// Package fuzzer is AMuLeT-Go's core: it orchestrates the test generator,
+// the leakage model and the executor into a model-based relational testing
+// loop that searches for contract violations (Definition 2.1): pairs of
+// inputs with identical contract traces but different micro-architectural
+// traces.
+package fuzzer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// Config configures one fuzzing instance. Campaigns run many instances in
+// parallel with distinct seeds (paper §4.1).
+type Config struct {
+	Contract contract.Contract
+	Gen      generator.Config
+	Exec     executor.Config
+
+	// DefenseFactory builds the defense instance for this fuzzer's core.
+	DefenseFactory func() uarch.Defense
+
+	Seed     int64
+	Programs int // test programs to generate
+	// BaseInputs and MutantsPerInput multiply to the inputs per program
+	// (the paper uses 140 inputs per program).
+	BaseInputs      int
+	MutantsPerInput int
+
+	// MutateRegs lets mutants vary architecturally dead registers
+	// (register-borne secrets); campaigns against contracts that observe
+	// the register file leave it off. When unset it defaults to the
+	// complement of the contract's ObserveInitRegs.
+	MutateRegs *bool
+
+	// StopOnFirstViolation ends the campaign at the first confirmed
+	// violation (the paper's detection-time experiments).
+	StopOnFirstViolation bool
+
+	// MaxViolationsPerProgram bounds recorded violations per program to
+	// keep pathological programs from flooding the report. Zero = 4.
+	MaxViolationsPerProgram int
+}
+
+// Violation is one confirmed contract violation: two contract-equivalent
+// inputs with different µarch traces, surviving the fresh-context
+// validation re-run.
+type Violation struct {
+	Defense  string
+	Contract string
+	Program  *isa.Program
+	Sandbox  isa.Sandbox
+	InputA   *isa.Input
+	InputB   *isa.Input
+	CTrace   contract.Trace
+	TraceA   *executor.UTrace
+	TraceB   *executor.UTrace
+
+	ProgramIndex int
+	DetectedAt   time.Duration // since campaign start
+}
+
+// Result summarizes one fuzzing instance.
+type Result struct {
+	Violations []*Violation
+	TestCases  int
+	Programs   int
+	Elapsed    time.Duration
+	Metrics    executor.Metrics
+
+	// ValidationRuns counts fresh-context re-runs triggered by µarch trace
+	// mismatches (including those that turned out to be predictor-state
+	// artifacts).
+	ValidationRuns int
+	// RejectedMutants counts mutation attempts the model refused.
+	RejectedMutants int
+
+	// GenTime is time spent generating programs and inputs; ModelTime is
+	// time spent collecting contract traces (leakage-model execution,
+	// including mutation verification). Together with the executor metrics
+	// these give the paper's Table 2 breakdown.
+	GenTime   time.Duration
+	ModelTime time.Duration
+}
+
+// Throughput returns test cases per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TestCases) / r.Elapsed.Seconds()
+}
+
+// FirstDetection returns the detection time of the first violation, and
+// whether one exists.
+func (r *Result) FirstDetection() (time.Duration, bool) {
+	if len(r.Violations) == 0 {
+		return 0, false
+	}
+	return r.Violations[0].DetectedAt, true
+}
+
+// Fuzzer is one fuzzing instance.
+type Fuzzer struct {
+	cfg  Config
+	gen  *generator.Generator
+	mut  *generator.Mutator
+	exec *executor.Executor
+	def  uarch.Defense
+}
+
+// New builds a fuzzer. It returns an error on invalid configuration.
+func New(cfg Config) (*Fuzzer, error) {
+	if cfg.Programs < 1 || cfg.BaseInputs < 1 || cfg.MutantsPerInput < 0 {
+		return nil, fmt.Errorf("fuzzer: bad campaign sizes (programs=%d, base=%d, mutants=%d)",
+			cfg.Programs, cfg.BaseInputs, cfg.MutantsPerInput)
+	}
+	if cfg.DefenseFactory == nil {
+		return nil, fmt.Errorf("fuzzer: DefenseFactory is required")
+	}
+	if err := cfg.Gen.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Exec.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxViolationsPerProgram == 0 {
+		cfg.MaxViolationsPerProgram = 4
+	}
+	genCfg := cfg.Gen
+	genCfg.Seed = cfg.Seed
+	mutateRegs := !cfg.Contract.ObserveInitRegs
+	if cfg.MutateRegs != nil {
+		mutateRegs = *cfg.MutateRegs
+	}
+	def := cfg.DefenseFactory()
+	return &Fuzzer{
+		cfg:  cfg,
+		gen:  generator.New(genCfg),
+		mut:  generator.NewMutator(cfg.Seed^0x5eed, mutateRegs),
+		exec: executor.New(cfg.Exec, def),
+		def:  def,
+	}, nil
+}
+
+// Executor exposes the underlying executor (tests, analysis replays).
+func (f *Fuzzer) Executor() *executor.Executor { return f.exec }
+
+// Run executes the campaign.
+func (f *Fuzzer) Run() (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	sb := f.gen.Sandbox()
+
+	for p := 0; p < f.cfg.Programs; p++ {
+		t0 := time.Now()
+		prog := f.gen.Program()
+		res.GenTime += time.Since(t0)
+		model := contract.NewModel(f.cfg.Contract, prog, sb)
+		if err := f.exec.LoadProgram(prog, sb); err != nil {
+			return nil, err
+		}
+		res.Programs++
+
+		found, err := f.testProgram(p, prog, sb, model, res, start)
+		if err != nil {
+			return nil, err
+		}
+		if found && f.cfg.StopOnFirstViolation {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Metrics = f.exec.Metrics()
+	return res, nil
+}
+
+// inputClass is one contract-equivalence class: inputs whose contract
+// traces are identical.
+type inputClass struct {
+	ctrace contract.Trace
+	inputs []*isa.Input
+	traces []*executor.UTrace
+}
+
+// testProgram runs one program's inputs and relational comparisons. It
+// reports whether at least one confirmed violation was found.
+func (f *Fuzzer) testProgram(pIdx int, prog *isa.Program, sb isa.Sandbox, model *contract.Model, res *Result, start time.Time) (bool, error) {
+	classes := make(map[uint64]*inputClass)
+	var order []uint64
+
+	// Build base inputs and contract-preserving mutants, grouped by
+	// contract trace.
+	for b := 0; b < f.cfg.BaseInputs; b++ {
+		t0 := time.Now()
+		base := f.gen.Input()
+		res.GenTime += time.Since(t0)
+		t1 := time.Now()
+		ctrace, usage := model.Collect(base)
+		h := ctrace.Hash()
+		cls, ok := classes[h]
+		if !ok {
+			cls = &inputClass{ctrace: ctrace}
+			classes[h] = cls
+			order = append(order, h)
+		}
+		cls.inputs = append(cls.inputs, base)
+		for m := 0; m < f.cfg.MutantsPerInput; m++ {
+			mutant, ok := f.mut.Mutate(model, base, usage, ctrace)
+			if !ok {
+				res.RejectedMutants++
+				continue
+			}
+			cls.inputs = append(cls.inputs, mutant)
+		}
+		res.ModelTime += time.Since(t1)
+	}
+
+	// Execute all inputs (in deterministic order) and compare µarch traces
+	// within each class.
+	found := false
+	violations := 0
+	for _, h := range order {
+		cls := classes[h]
+		for _, in := range cls.inputs {
+			tr, err := f.exec.Run(in)
+			if err != nil {
+				return false, fmt.Errorf("fuzzer: program %d: %w", pIdx, err)
+			}
+			res.TestCases++
+			cls.traces = append(cls.traces, tr)
+		}
+		if violations >= f.cfg.MaxViolationsPerProgram {
+			continue
+		}
+		i, j, differ := firstDiffPair(cls.traces)
+		if !differ {
+			continue
+		}
+		ok, trA, trB, err := f.validate(cls.inputs[i], cls.inputs[j], res)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		res.Violations = append(res.Violations, &Violation{
+			Defense:      f.def.Name(),
+			Contract:     f.cfg.Contract.Name,
+			Program:      prog,
+			Sandbox:      sb,
+			InputA:       cls.inputs[i],
+			InputB:       cls.inputs[j],
+			CTrace:       cls.ctrace,
+			TraceA:       trA,
+			TraceB:       trB,
+			ProgramIndex: pIdx,
+			DetectedAt:   time.Since(start),
+		})
+		violations++
+		found = true
+		if f.cfg.StopOnFirstViolation {
+			return true, nil
+		}
+	}
+	return found, nil
+}
+
+// firstDiffPair returns the indices of the first differing trace pair.
+func firstDiffPair(traces []*executor.UTrace) (int, int, bool) {
+	for i := 1; i < len(traces); i++ {
+		if !traces[0].Equal(traces[i]) {
+			return 0, i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// validate re-runs both inputs from an identical captured
+// micro-architectural context. Only a persisting difference is a real
+// input-dependent leak; differences caused by the different predictor
+// state the Opt strategy carried into the two original runs disappear here
+// (paper §3.2, validation of AMuLeT-Opt violations).
+func (f *Fuzzer) validate(a, b *isa.Input, res *Result) (bool, *executor.UTrace, *executor.UTrace, error) {
+	res.ValidationRuns++
+	trA, trB, err := f.exec.RunValidationPair(a, b)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	res.TestCases += 3
+	if trA.Equal(trB) {
+		return false, nil, nil, nil
+	}
+	return true, trA, trB, nil
+}

@@ -1,0 +1,198 @@
+package fuzzer
+
+import (
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	good := quickConfig(1, 5)
+
+	bad := good
+	bad.Programs = 0
+	if _, err := New(bad); err == nil {
+		t.Errorf("zero programs accepted")
+	}
+	bad = good
+	bad.DefenseFactory = nil
+	if _, err := New(bad); err == nil {
+		t.Errorf("nil defense factory accepted")
+	}
+	bad = good
+	bad.Gen.Pages = 3
+	if _, err := New(bad); err == nil {
+		t.Errorf("invalid generator config accepted")
+	}
+	bad = good
+	bad.Exec.Core.ROBSize = 1
+	if _, err := New(bad); err == nil {
+		t.Errorf("invalid core config accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Result {
+		f, err := New(quickConfig(42, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.TestCases != r2.TestCases || len(r1.Violations) != len(r2.Violations) {
+		t.Errorf("identical seeds diverge: tests %d/%d violations %d/%d",
+			r1.TestCases, r2.TestCases, len(r1.Violations), len(r2.Violations))
+	}
+	for i := range r1.Violations {
+		if r1.Violations[i].ProgramIndex != r2.Violations[i].ProgramIndex {
+			t.Errorf("violation %d at different programs", i)
+		}
+	}
+}
+
+func TestViolationRecordConsistency(t *testing.T) {
+	cfg := quickConfig(1, 20)
+	cfg.StopOnFirstViolation = true
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("no violation found")
+	}
+	v := res.Violations[0]
+	if v.TraceA.Equal(v.TraceB) {
+		t.Errorf("violation traces are equal")
+	}
+	// The recorded pair must be contract-equivalent: re-verify with a
+	// fresh model.
+	md := contract.NewModel(contract.CTSeq, v.Program, v.Sandbox)
+	trA, _ := md.Collect(v.InputA)
+	trB, _ := md.Collect(v.InputB)
+	if !trA.Equal(trB) {
+		t.Errorf("violation inputs are not contract-equivalent")
+	}
+	if !trA.Equal(v.CTrace) {
+		t.Errorf("recorded contract trace does not match")
+	}
+	if v.Defense != "Baseline" || v.Contract != "CT-SEQ" {
+		t.Errorf("metadata wrong: %q %q", v.Defense, v.Contract)
+	}
+}
+
+func TestCampaignAggregation(t *testing.T) {
+	ccfg := CampaignConfig{Base: quickConfig(1, 8), Instances: 3}
+	res, err := RunCampaign(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 3 {
+		t.Fatalf("instances = %d", len(res.Instances))
+	}
+	sum := 0
+	for _, r := range res.Instances {
+		sum += r.TestCases
+	}
+	if sum != res.TestCases {
+		t.Errorf("test case aggregation wrong: %d != %d", sum, res.TestCases)
+	}
+	if res.Throughput() <= 0 {
+		t.Errorf("throughput = %f", res.Throughput())
+	}
+}
+
+func TestCampaignInstancesDiffer(t *testing.T) {
+	ccfg := CampaignConfig{Base: quickConfig(1, 6), Instances: 2, MaxParallel: 1}
+	res, err := RunCampaign(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different instance seeds must generate different programs; the
+	// simplest observable proxy is differing per-instance behaviour
+	// somewhere in the counters.
+	a, b := res.Instances[0], res.Instances[1]
+	if a.TestCases == b.TestCases && a.ValidationRuns == b.ValidationRuns &&
+		a.RejectedMutants == b.RejectedMutants && a.GenTime == b.GenTime {
+		t.Logf("instances look identical (possible, but suspicious)")
+	}
+}
+
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{Base: quickConfig(1, 4), Instances: 0}); err == nil {
+		t.Errorf("zero instances accepted")
+	}
+}
+
+func TestMutateRegsDefaultsFollowContract(t *testing.T) {
+	cfg := quickConfig(1, 1)
+	cfg.Contract = contract.ArchSeq
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	// ARCH-SEQ observes registers, so mutants must not vary them: covered
+	// behaviourally by TestCampaignSTTPatchedClean; here we just ensure the
+	// config builds with both defaults and an explicit override.
+	on := true
+	cfg.MutateRegs = &on
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{}
+	if _, ok := r.FirstDetection(); ok {
+		t.Errorf("empty result has a detection time")
+	}
+	if r.Throughput() != 0 {
+		t.Errorf("empty result throughput nonzero")
+	}
+}
+
+// TestStrategyNaiveCampaign exercises the Naive path end to end.
+func TestStrategyNaiveCampaign(t *testing.T) {
+	cfg := quickConfig(1, 6)
+	cfg.Exec.Strategy = executor.StrategyNaive
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Starts != res.TestCases {
+		t.Errorf("Naive must start the simulator per test case: %d starts, %d tests",
+			res.Metrics.Starts, res.TestCases)
+	}
+}
+
+// TestGeneratorExecutorIntegration runs generated programs through both
+// engines at a defense other than baseline, exercising the whole stack.
+func TestGeneratorExecutorIntegration(t *testing.T) {
+	cfg := quickConfig(5, 10)
+	cfg.DefenseFactory = func() uarch.Defense { return uarch.NopDefense{} }
+	cfg.Gen = generator.DefaultConfig()
+	cfg.Gen.Pages = 4
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

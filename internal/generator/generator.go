@@ -1,0 +1,231 @@
+// Package generator produces random test programs and inputs, mirroring the
+// Revizor test generator that AMuLeT reuses: programs are up to five basic
+// blocks of randomly selected instructions linked into a directed acyclic
+// control-flow graph, with all memory accesses confined to a sandbox, plus
+// random inputs and contract-preserving input mutation.
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// Config tunes program generation.
+type Config struct {
+	Seed int64
+
+	MinInsts  int // minimum instructions per program
+	MaxInsts  int // maximum instructions per program
+	MaxBlocks int // maximum basic blocks (paper: 5)
+
+	Pages int // sandbox pages (paper: 1..128)
+
+	// Instruction-mix weights (need not sum to anything particular).
+	WeightALU   int
+	WeightLoad  int
+	WeightStore int
+	WeightCmp   int
+	WeightCmov  int
+	WeightFence int
+
+	// ChainBias is the probability that a memory access uses the most
+	// recently loaded register as its base — the "encode a loaded value in
+	// an address" pattern every cache side channel needs.
+	ChainBias float64
+}
+
+// DefaultConfig returns the paper-like generator configuration
+// (~50-instruction programs, 5 basic blocks, 1-page sandbox).
+func DefaultConfig() Config {
+	return Config{
+		MinInsts:    36,
+		MaxInsts:    56,
+		MaxBlocks:   5,
+		Pages:       1,
+		WeightALU:   30,
+		WeightLoad:  22,
+		WeightStore: 10,
+		WeightCmp:   12,
+		WeightCmov:  6,
+		WeightFence: 1,
+		ChainBias:   0.45,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.MinInsts < 4 || c.MaxInsts < c.MinInsts {
+		return fmt.Errorf("generator: bad instruction bounds [%d,%d]", c.MinInsts, c.MaxInsts)
+	}
+	if c.MaxBlocks < 1 || c.MaxBlocks > 16 {
+		return fmt.Errorf("generator: MaxBlocks must be in [1,16], got %d", c.MaxBlocks)
+	}
+	return isa.Sandbox{Pages: c.Pages}.Validate()
+}
+
+// Generator produces random programs and inputs from a seeded PRNG, so
+// campaigns are reproducible.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a generator. It panics on invalid configuration.
+func New(cfg Config) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Sandbox returns the sandbox geometry programs are generated for.
+func (g *Generator) Sandbox() isa.Sandbox { return isa.Sandbox{Pages: g.cfg.Pages} }
+
+// Program generates one random test program.
+func (g *Generator) Program() *isa.Program {
+	nInsts := g.cfg.MinInsts + g.rng.Intn(g.cfg.MaxInsts-g.cfg.MinInsts+1)
+	nBlocks := 1 + g.rng.Intn(g.cfg.MaxBlocks)
+	if nBlocks > nInsts/4 {
+		nBlocks = nInsts / 4
+	}
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+
+	// Split the body budget across blocks (each block additionally gets a
+	// terminator except the last).
+	sizes := make([]int, nBlocks)
+	for i := range sizes {
+		sizes[i] = 2
+	}
+	for budget := nInsts - 3*nBlocks; budget > 0; budget-- {
+		sizes[g.rng.Intn(nBlocks)]++
+	}
+
+	// Lay out block start indices: each block is body + 1 terminator
+	// (conditional branch or jump), except the last which falls off the end.
+	starts := make([]int, nBlocks)
+	idx := 0
+	for b := 0; b < nBlocks; b++ {
+		starts[b] = idx
+		idx += sizes[b]
+		if b != nBlocks-1 {
+			idx++ // terminator slot
+		}
+	}
+	end := idx
+
+	p := &isa.Program{NumBlocks: nBlocks}
+	lastLoaded := isa.Reg(0)
+	haveLoaded := false
+	for b := 0; b < nBlocks; b++ {
+		for k := 0; k < sizes[b]; k++ {
+			p.Insts = append(p.Insts, g.bodyInst(&lastLoaded, &haveLoaded))
+		}
+		if b == nBlocks-1 {
+			break
+		}
+		// Terminator: a conditional branch to a random later block (its
+		// fallthrough is the next block), or occasionally a plain jump.
+		targetBlock := b + 1 + g.rng.Intn(nBlocks-b-1)
+		target := starts[targetBlock]
+		if targetBlock == b+1 || g.rng.Intn(8) == 0 {
+			// Jump either to the next block (a no-op jump, kept for CFG
+			// variety) or skip ahead unconditionally.
+			if g.rng.Intn(4) == 0 {
+				p.Insts = append(p.Insts, isa.Jmp(target))
+			} else {
+				p.Insts = append(p.Insts, isa.Branch(g.randCond(), target))
+			}
+		} else {
+			p.Insts = append(p.Insts, isa.Branch(g.randCond(), target))
+		}
+	}
+	if len(p.Insts) != end {
+		panic(fmt.Sprintf("generator: layout mismatch %d != %d", len(p.Insts), end))
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("generator: produced invalid program: %v", err))
+	}
+	return p
+}
+
+func (g *Generator) randCond() isa.Cond { return isa.Cond(g.rng.Intn(isa.NumConds)) }
+
+func (g *Generator) randReg() isa.Reg { return isa.Reg(g.rng.Intn(isa.NumRegs)) }
+
+func (g *Generator) randSize() uint8 {
+	switch g.rng.Intn(6) {
+	case 0:
+		return 1
+	case 1:
+		return 2
+	case 2, 3:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func (g *Generator) bodyInst(lastLoaded *isa.Reg, haveLoaded *bool) isa.Inst {
+	total := g.cfg.WeightALU + g.cfg.WeightLoad + g.cfg.WeightStore +
+		g.cfg.WeightCmp + g.cfg.WeightCmov + g.cfg.WeightFence
+	r := g.rng.Intn(total)
+
+	memBase := func() isa.Reg {
+		if *haveLoaded && g.rng.Float64() < g.cfg.ChainBias {
+			return *lastLoaded
+		}
+		return g.randReg()
+	}
+	imm := func() int64 { return int64(g.rng.Intn(int(g.Sandbox().Size()))) }
+
+	switch {
+	case r < g.cfg.WeightALU:
+		ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpMul, isa.OpMov, isa.OpMovImm}
+		op := ops[g.rng.Intn(len(ops))]
+		switch op {
+		case isa.OpMovImm:
+			return isa.MovImm(g.randReg(), int64(g.rng.Uint64()>>g.rng.Intn(60)))
+		case isa.OpMov:
+			return isa.Mov(g.randReg(), g.randReg())
+		case isa.OpShl, isa.OpShr:
+			return isa.ALUImm(op, g.randReg(), g.randReg(), int64(g.rng.Intn(12)))
+		default:
+			if g.rng.Intn(2) == 0 {
+				return isa.ALUImm(op, g.randReg(), g.randReg(), int64(g.rng.Intn(4096)))
+			}
+			return isa.ALU(op, g.randReg(), g.randReg(), g.randReg())
+		}
+	case r < g.cfg.WeightALU+g.cfg.WeightLoad:
+		dst := g.randReg()
+		in := isa.Load(dst, memBase(), imm(), g.randSize())
+		*lastLoaded = dst
+		*haveLoaded = true
+		return in
+	case r < g.cfg.WeightALU+g.cfg.WeightLoad+g.cfg.WeightStore:
+		return isa.Store(memBase(), imm(), g.randReg(), g.randSize())
+	case r < g.cfg.WeightALU+g.cfg.WeightLoad+g.cfg.WeightStore+g.cfg.WeightCmp:
+		if g.rng.Intn(2) == 0 {
+			return isa.CmpImm(g.randReg(), int64(g.rng.Intn(256)))
+		}
+		return isa.Cmp(g.randReg(), g.randReg())
+	case r < g.cfg.WeightALU+g.cfg.WeightLoad+g.cfg.WeightStore+g.cfg.WeightCmp+g.cfg.WeightCmov:
+		return isa.Cmov(g.randCond(), g.randReg(), g.randReg())
+	default:
+		return isa.Fence()
+	}
+}
+
+// Input generates a fully random input for the generator's sandbox.
+func (g *Generator) Input() *isa.Input {
+	in := isa.NewInput(g.Sandbox())
+	for i := range in.Regs {
+		// Mixed magnitudes: small offsets and full-width values both occur.
+		in.Regs[i] = g.rng.Uint64() >> uint(g.rng.Intn(56))
+	}
+	g.rng.Read(in.Mem)
+	return in
+}

@@ -1,0 +1,250 @@
+// Package isa defines the instruction set used by AMuLeT-Go test programs.
+//
+// The ISA is a compact, RISC-style 64-bit instruction set that is rich enough
+// to express every leakage gadget exercised by the AMuLeT paper (Spectre-v1
+// and v4 patterns, secret-dependent addresses, conditional moves, loads and
+// stores of several widths, conditional branches forming a DAG control-flow
+// graph) while staying simple enough that both the functional emulator
+// (package emu) and the out-of-order simulator (package uarch) implement
+// exactly the same architectural semantics.
+//
+// Memory sandboxing is part of the architecture: the effective address of
+// every load and store is wrapped into a per-test memory sandbox, mirroring
+// the address-masking (AND reg, 0b111...) that the paper's generator inserts
+// before every x86 memory access.
+package isa
+
+import "fmt"
+
+// Reg names one of the 16 general-purpose 64-bit registers R0..R15.
+type Reg uint8
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 16
+
+// String returns the assembler name of the register ("R0".."R15").
+func (r Reg) String() string { return fmt.Sprintf("R%d", uint8(r)) }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op identifies an instruction opcode.
+type Op uint8
+
+// Opcodes. ALU operations take either a register (Src2) or an immediate
+// operand (Imm, when UseImm is set).
+const (
+	OpNop    Op = iota
+	OpMovImm    // Dst = Imm
+	OpMov       // Dst = Src1
+	OpAdd       // Dst = Src1 + operand
+	OpSub       // Dst = Src1 - operand
+	OpAnd       // Dst = Src1 & operand
+	OpOr        // Dst = Src1 | operand
+	OpXor       // Dst = Src1 ^ operand
+	OpShl       // Dst = Src1 << (operand & 63)
+	OpShr       // Dst = Src1 >> (operand & 63) (logical)
+	OpMul       // Dst = Src1 * operand (low 64 bits)
+	OpCmp       // set flags from Src1 - operand, no register result
+	OpCmov      // Dst = Src1 if Cond holds, else Dst unchanged
+	OpLoad      // Dst = sandbox[(Src1 + Imm) & mask], Size bytes, zero-extended
+	OpStore     // sandbox[(Src1 + Imm) & mask] = Src2 (low Size bytes)
+	OpBranch    // if Cond holds, jump to Target
+	OpJmp       // unconditional jump to Target
+	OpFence     // serializing barrier: drains speculation in the OoO core
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop:    "NOP",
+	OpMovImm: "MOVI",
+	OpMov:    "MOV",
+	OpAdd:    "ADD",
+	OpSub:    "SUB",
+	OpAnd:    "AND",
+	OpOr:     "OR",
+	OpXor:    "XOR",
+	OpShl:    "SHL",
+	OpShr:    "SHR",
+	OpMul:    "MUL",
+	OpCmp:    "CMP",
+	OpCmov:   "CMOV",
+	OpLoad:   "LD",
+	OpStore:  "ST",
+	OpBranch: "B",
+	OpJmp:    "JMP",
+	OpFence:  "FENCE",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsALU reports whether o is a register-to-register computation (including
+// CMP and CMOV).
+func (o Op) IsALU() bool {
+	switch o {
+	case OpMovImm, OpMov, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpCmp, OpCmov:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether o accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsControl reports whether o redirects control flow.
+func (o Op) IsControl() bool { return o == OpBranch || o == OpJmp }
+
+// SetsFlags reports whether the instruction updates the flags register.
+// Mirroring x86, arithmetic and logic operations set flags; moves, loads and
+// shifts-by-zero semantics are simplified: shifts also set flags.
+func (o Op) SetsFlags() bool {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpCmp:
+		return true
+	}
+	return false
+}
+
+// Cond is a branch/CMOV condition evaluated against the flags register.
+type Cond uint8
+
+// Conditions. Signedness follows the sign flag computed by the last
+// flag-setting operation.
+const (
+	CondEQ Cond = iota // zero flag set
+	CondNE             // zero flag clear
+	CondLT             // sign flag set (result negative)
+	CondGE             // sign flag clear
+	CondCS             // carry flag set (unsigned borrow on SUB/CMP)
+	CondCC             // carry flag clear
+	numConds
+)
+
+var condNames = [...]string{
+	CondEQ: "EQ",
+	CondNE: "NE",
+	CondLT: "LT",
+	CondGE: "GE",
+	CondCS: "CS",
+	CondCC: "CC",
+}
+
+// String returns the assembler suffix for the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("COND(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined condition.
+func (c Cond) Valid() bool { return c < numConds }
+
+// NumConds is the number of defined conditions (exported for the generator).
+const NumConds = int(numConds)
+
+// Flags holds the architectural flags register.
+type Flags struct {
+	Z bool // zero
+	S bool // sign (bit 63 of result)
+	C bool // carry / unsigned borrow
+}
+
+// Eval reports whether condition c holds under flags f.
+func (f Flags) Eval(c Cond) bool {
+	switch c {
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondLT:
+		return f.S
+	case CondGE:
+		return !f.S
+	case CondCS:
+		return f.C
+	case CondCC:
+		return !f.C
+	}
+	return false
+}
+
+// Inst is a single instruction. The zero value is a NOP.
+type Inst struct {
+	Op     Op
+	Dst    Reg   // destination register (ALU, CMOV, LD)
+	Src1   Reg   // first source (ALU), base register (LD/ST)
+	Src2   Reg   // second source (ALU), store data (ST)
+	Imm    int64 // immediate operand / address displacement
+	UseImm bool  // ALU second operand is Imm instead of Src2
+	Cond   Cond  // condition for B and CMOV
+	Size   uint8 // access size in bytes for LD/ST: 1, 2, 4 or 8
+	Target int   // destination instruction index for B and JMP
+}
+
+// InstBytes is the architectural size of one encoded instruction. Program
+// counters advance by InstBytes per instruction; the instruction stream is
+// laid out contiguously from CodeBase, which is what the L1I cache and the
+// fetch unit of the simulator observe.
+const InstBytes = 4
+
+// CodeBase is the virtual address of the first instruction of a test
+// program (cosmetically similar to the paper's 0x40xxxx PCs).
+const CodeBase uint64 = 0x400000
+
+// PCOf returns the program counter of the instruction at index idx.
+func PCOf(idx int) uint64 { return CodeBase + uint64(idx)*InstBytes }
+
+// IndexOf returns the instruction index for program counter pc and whether
+// pc is a valid, aligned code address at or above CodeBase.
+func IndexOf(pc uint64) (int, bool) {
+	if pc < CodeBase || (pc-CodeBase)%InstBytes != 0 {
+		return 0, false
+	}
+	return int((pc - CodeBase) / InstBytes), true
+}
+
+// ReadsFlags reports whether the instruction consumes the flags register.
+func (in Inst) ReadsFlags() bool { return in.Op == OpBranch || in.Op == OpCmov }
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpNop:
+		return "NOP"
+	case OpFence:
+		return "FENCE"
+	case OpMovImm:
+		return fmt.Sprintf("MOVI %s, %#x", in.Dst, uint64(in.Imm))
+	case OpMov:
+		return fmt.Sprintf("MOV %s, %s", in.Dst, in.Src1)
+	case OpCmp:
+		if in.UseImm {
+			return fmt.Sprintf("CMP %s, %#x", in.Src1, uint64(in.Imm))
+		}
+		return fmt.Sprintf("CMP %s, %s", in.Src1, in.Src2)
+	case OpCmov:
+		return fmt.Sprintf("CMOV.%s %s, %s", in.Cond, in.Dst, in.Src1)
+	case OpLoad:
+		return fmt.Sprintf("LD.%d %s, [%s%+#x]", in.Size, in.Dst, in.Src1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("ST.%d [%s%+#x], %s", in.Size, in.Src1, in.Imm, in.Src2)
+	case OpBranch:
+		return fmt.Sprintf("B.%s .L%d", in.Cond, in.Target)
+	case OpJmp:
+		return fmt.Sprintf("JMP .L%d", in.Target)
+	}
+	if in.UseImm {
+		return fmt.Sprintf("%s %s, %s, %#x", in.Op, in.Dst, in.Src1, uint64(in.Imm))
+	}
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+}

@@ -1,0 +1,224 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if got := Reg(3).String(); got != "R3" {
+		t.Errorf("Reg(3).String() = %q", got)
+	}
+	if !Reg(15).Valid() || Reg(16).Valid() {
+		t.Errorf("register validity wrong around the boundary")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op             Op
+		alu, mem, ctrl bool
+		flags          bool
+	}{
+		{OpNop, false, false, false, false},
+		{OpMovImm, true, false, false, false},
+		{OpAdd, true, false, false, true},
+		{OpCmp, true, false, false, true},
+		{OpCmov, true, false, false, false},
+		{OpLoad, false, true, false, false},
+		{OpStore, false, true, false, false},
+		{OpBranch, false, false, true, false},
+		{OpJmp, false, false, true, false},
+		{OpFence, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsALU() != c.alu {
+			t.Errorf("%v.IsALU() = %v, want %v", c.op, c.op.IsALU(), c.alu)
+		}
+		if c.op.IsMem() != c.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", c.op, c.op.IsMem(), c.mem)
+		}
+		if c.op.IsControl() != c.ctrl {
+			t.Errorf("%v.IsControl() = %v, want %v", c.op, c.op.IsControl(), c.ctrl)
+		}
+		if c.op.SetsFlags() != c.flags {
+			t.Errorf("%v.SetsFlags() = %v, want %v", c.op, c.op.SetsFlags(), c.flags)
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	f := Flags{Z: true, S: false, C: true}
+	cases := map[Cond]bool{
+		CondEQ: true, CondNE: false, CondLT: false,
+		CondGE: true, CondCS: true, CondCC: false,
+	}
+	for c, want := range cases {
+		if got := f.Eval(c); got != want {
+			t.Errorf("Eval(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestPCRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 7, 1000} {
+		pc := PCOf(idx)
+		got, ok := IndexOf(pc)
+		if !ok || got != idx {
+			t.Errorf("IndexOf(PCOf(%d)) = %d, %v", idx, got, ok)
+		}
+	}
+	if _, ok := IndexOf(CodeBase + 2); ok {
+		t.Errorf("IndexOf accepted an unaligned PC")
+	}
+	if _, ok := IndexOf(CodeBase - 4); ok {
+		t.Errorf("IndexOf accepted a PC below CodeBase")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{MovImm(1, 0x10), "MOVI R1, 0x10"},
+		{Load(2, 3, 0x40, 8), "LD.8 R2, [R3+0x40]"},
+		{Store(4, 0x8, 5, 2), "ST.2 [R4+0x8], R5"},
+		{Branch(CondNE, 7), "B.NE .L7"},
+		{Jmp(9), "JMP .L9"},
+		{Cmov(CondEQ, 1, 2), "CMOV.EQ R1, R2"},
+		{Fence(), "FENCE"},
+		{Nop(), "NOP"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Insts: []Inst{
+		MovImm(1, 5),
+		Branch(CondNE, 3),
+		Nop(),
+		Nop(),
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	backward := &Program{Insts: []Inst{Nop(), Branch(CondEQ, 0)}}
+	if err := backward.Validate(); err == nil {
+		t.Errorf("backward branch accepted (programs must be DAGs)")
+	}
+	selfloop := &Program{Insts: []Inst{Branch(CondEQ, 0)}}
+	if err := selfloop.Validate(); err == nil {
+		t.Errorf("self-loop accepted")
+	}
+	badSize := &Program{Insts: []Inst{Load(1, 2, 0, 3)}}
+	if err := badSize.Validate(); err == nil {
+		t.Errorf("invalid access size accepted")
+	}
+	badReg := &Program{Insts: []Inst{{Op: OpMov, Dst: 16}}}
+	if err := badReg.Validate(); err == nil {
+		t.Errorf("out-of-range register accepted")
+	}
+}
+
+func TestProgramCloneIndependent(t *testing.T) {
+	p := &Program{Insts: []Inst{Nop(), MovImm(1, 2)}, NumBlocks: 1}
+	q := p.Clone()
+	q.Insts[0] = Fence()
+	if p.Insts[0].Op == OpFence {
+		t.Errorf("Clone shares backing storage")
+	}
+}
+
+func TestProgramStringHasLabels(t *testing.T) {
+	p := &Program{Insts: []Inst{Nop(), Branch(CondEQ, 2), Nop()}}
+	s := p.String()
+	if !strings.Contains(s, ".L0") || !strings.Contains(s, "B.EQ .L2") {
+		t.Errorf("program rendering missing labels:\n%s", s)
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op    Op
+		a, b  uint64
+		want  uint64
+		wantZ bool
+	}{
+		{OpAdd, 2, 3, 5, false},
+		{OpSub, 3, 3, 0, true},
+		{OpAnd, 0xf0, 0x0f, 0, true},
+		{OpOr, 1, 2, 3, false},
+		{OpXor, 5, 5, 0, true},
+		{OpShl, 1, 4, 16, false},
+		{OpShr, 16, 4, 1, false},
+		{OpMul, 7, 3, 21, false},
+	}
+	for _, c := range cases {
+		got, fl, writes := EvalALU(c.op, CondEQ, c.a, c.b, 0, Flags{})
+		if got != c.want || !writes {
+			t.Errorf("%v(%d,%d) = %d (writes=%v), want %d", c.op, c.a, c.b, got, writes, c.want)
+		}
+		if fl.Z != c.wantZ {
+			t.Errorf("%v(%d,%d): Z=%v, want %v", c.op, c.a, c.b, fl.Z, c.wantZ)
+		}
+	}
+}
+
+func TestEvalALUCmpAndCmov(t *testing.T) {
+	_, fl, writes := EvalALU(OpCmp, CondEQ, 5, 7, 0, Flags{})
+	if writes {
+		t.Errorf("CMP must not write a register")
+	}
+	if fl.Z || !fl.C {
+		t.Errorf("CMP 5,7: flags = %+v, want borrow set, zero clear", fl)
+	}
+
+	res, _, writes := EvalALU(OpCmov, CondEQ, 11, 0, 22, Flags{Z: true})
+	if !writes || res != 11 {
+		t.Errorf("CMOV taken = %d, want 11", res)
+	}
+	res, _, _ = EvalALU(OpCmov, CondEQ, 11, 0, 22, Flags{Z: false})
+	if res != 22 {
+		t.Errorf("CMOV not taken = %d, want old value 22", res)
+	}
+}
+
+// TestEvalALUPropertyFlags checks flag invariants over random operands.
+func TestEvalALUPropertyFlags(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		for _, op := range []Op{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul} {
+			res, fl, _ := EvalALU(op, CondEQ, a, b, 0, Flags{})
+			if fl.Z != (res == 0) {
+				return false
+			}
+			if fl.S != (res>>63 == 1) {
+				return false
+			}
+		}
+		// SUB and CMP must agree on flags.
+		_, fSub, _ := EvalALU(OpSub, CondEQ, a, b, 0, Flags{})
+		_, fCmp, _ := EvalALU(OpCmp, CondEQ, a, b, 0, Flags{})
+		return fSub == fCmp
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalALUNonFlagOpsPreserveFlags checks that MOV/CMOV keep flags.
+func TestEvalALUNonFlagOpsPreserveFlags(t *testing.T) {
+	in := Flags{Z: true, S: true, C: true}
+	for _, op := range []Op{OpMov, OpMovImm, OpCmov} {
+		_, fl, _ := EvalALU(op, CondNE, 1, 2, 3, in)
+		if fl != in {
+			t.Errorf("%v modified flags: %+v", op, fl)
+		}
+	}
+}

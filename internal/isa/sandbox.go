@@ -1,0 +1,126 @@
+package isa
+
+import "fmt"
+
+// Architectural memory layout constants.
+const (
+	// PageSize is the virtual page size.
+	PageSize = 4096
+	// LineSize is the cache line size, visible architecturally only through
+	// the micro-architectural traces.
+	LineSize = 64
+	// DataBase is the virtual base address of the memory sandbox. It is
+	// 2 MiB-aligned so that sandboxes up to 512 pages stay naturally aligned.
+	DataBase uint64 = 0x200000
+)
+
+// Sandbox describes the data-memory sandbox of a test case. All loads and
+// stores are architecturally confined to it: effective addresses wrap into
+// [DataBase, DataBase+Size). Pages must be a power of two between 1 and 512,
+// mirroring the paper's 1..128-page sandboxes.
+type Sandbox struct {
+	Pages int
+}
+
+// Validate reports whether the sandbox configuration is usable.
+func (s Sandbox) Validate() error {
+	if s.Pages < 1 || s.Pages > 512 || s.Pages&(s.Pages-1) != 0 {
+		return fmt.Errorf("sandbox pages must be a power of two in [1,512], got %d", s.Pages)
+	}
+	return nil
+}
+
+// Size returns the sandbox size in bytes.
+func (s Sandbox) Size() uint64 { return uint64(s.Pages) * PageSize }
+
+// Mask returns the offset mask (Size-1).
+func (s Sandbox) Mask() uint64 { return s.Size() - 1 }
+
+// EffAddr computes the architectural effective address for a memory access
+// with base register value base and displacement imm: the raw address is
+// wrapped into the sandbox. This is the single definition of the address
+// semantics shared by the emulator and the simulator.
+func (s Sandbox) EffAddr(base uint64, imm int64) uint64 {
+	return DataBase + ((base + uint64(imm)) & s.Mask())
+}
+
+// ByteAddr returns the virtual address of the k-th byte of an access that
+// starts at virtual address va. Bytes wrap within the sandbox, so an access
+// that runs past the sandbox end continues at the sandbox start.
+func (s Sandbox) ByteAddr(va uint64, k uint8) uint64 {
+	return DataBase + ((va - DataBase + uint64(k)) & s.Mask())
+}
+
+// Image is the byte-addressable content of a sandbox, the architectural data
+// memory of a test case.
+type Image struct {
+	sb   Sandbox
+	data []byte
+}
+
+// NewImage returns a zeroed image for sandbox sb.
+func NewImage(sb Sandbox) *Image {
+	return &Image{sb: sb, data: make([]byte, sb.Size())}
+}
+
+// Sandbox returns the sandbox geometry of the image.
+func (im *Image) Sandbox() Sandbox { return im.sb }
+
+// Bytes returns the backing storage. Mutating it mutates the image.
+func (im *Image) Bytes() []byte { return im.data }
+
+// SetBytes overwrites the image content. src must have the sandbox size.
+func (im *Image) SetBytes(src []byte) {
+	if len(src) != len(im.data) {
+		panic(fmt.Sprintf("isa: image size mismatch: %d != %d", len(src), len(im.data)))
+	}
+	copy(im.data, src)
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.sb)
+	copy(c.data, im.data)
+	return c
+}
+
+// Read loads size bytes little-endian starting at virtual address va,
+// wrapping within the sandbox, and zero-extends to 64 bits.
+func (im *Image) Read(va uint64, size uint8) uint64 {
+	off := (va - DataBase) & im.sb.Mask()
+	var v uint64
+	for k := uint8(0); k < size; k++ {
+		b := im.data[(off+uint64(k))&im.sb.Mask()]
+		v |= uint64(b) << (8 * k)
+	}
+	return v
+}
+
+// Write stores the low size bytes of val little-endian starting at virtual
+// address va, wrapping within the sandbox.
+func (im *Image) Write(va uint64, size uint8, val uint64) {
+	off := (va - DataBase) & im.sb.Mask()
+	for k := uint8(0); k < size; k++ {
+		im.data[(off+uint64(k))&im.sb.Mask()] = byte(val >> (8 * k))
+	}
+}
+
+// Input is the architectural input of a test case: initial register values
+// and the initial sandbox memory content. A (program, input) pair forms one
+// test case, exactly as in the paper.
+type Input struct {
+	Regs [NumRegs]uint64
+	Mem  []byte // length Sandbox.Size()
+}
+
+// NewInput returns a zero input for sandbox sb.
+func NewInput(sb Sandbox) *Input {
+	return &Input{Mem: make([]byte, sb.Size())}
+}
+
+// Clone returns a deep copy of the input.
+func (in *Input) Clone() *Input {
+	c := &Input{Regs: in.Regs, Mem: make([]byte, len(in.Mem))}
+	copy(c.Mem, in.Mem)
+	return c
+}

@@ -1,0 +1,275 @@
+// Package mem implements the memory-system substrate of the AMuLeT-Go
+// simulator: set-associative caches with LRU replacement, miss-status
+// handling registers (MSHRs), a data TLB, a line-fill buffer, and the
+// hierarchy glue (latencies, pending fills, split requests). These are the
+// structures the paper's leaks contend on, and their sizes are plain
+// configuration so that leakage amplification (§3.4) needs no code changes.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CacheConfig describes one cache array.
+type CacheConfig struct {
+	Sets     int // number of sets, power of two
+	Ways     int // associativity
+	LineSize int // bytes per line, power of two
+}
+
+// Validate reports configuration problems.
+func (c CacheConfig) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("mem: cache sets must be a power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("mem: cache ways must be positive, got %d", c.Ways)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("mem: line size must be a power of two, got %d", c.LineSize)
+	}
+	return nil
+}
+
+// SizeBytes returns the cache capacity in bytes.
+func (c CacheConfig) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
+
+type cacheLine struct {
+	valid   bool
+	addr    uint64 // line-aligned address
+	lastUse uint64 // LRU timestamp
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// tags only: data contents live in the architectural memory image, which is
+// all the micro-architectural traces need.
+type Cache struct {
+	cfg     CacheConfig
+	sets    [][]cacheLine
+	useTick uint64
+}
+
+// NewCache builds a cache. It panics on invalid configuration: cache
+// geometry is validated at simulator construction.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]cacheLine, cfg.Sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineSize) - 1)
+}
+
+// SetIndex returns the set index for addr.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr / uint64(c.cfg.LineSize)) & uint64(c.cfg.Sets-1))
+}
+
+func (c *Cache) find(addr uint64) (set int, way int, ok bool) {
+	la := c.LineAddr(addr)
+	set = c.SetIndex(addr)
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].addr == la {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Contains reports whether the line holding addr is present, without
+// updating replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	_, _, ok := c.find(addr)
+	return ok
+}
+
+// Touch looks up addr and, on a hit, updates the LRU state. It returns
+// whether the access hit.
+func (c *Cache) Touch(addr uint64) bool {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return false
+	}
+	c.useTick++
+	c.sets[set][way].lastUse = c.useTick
+	return true
+}
+
+// SetFull reports whether the set containing addr has no invalid way.
+func (c *Cache) SetFull(addr uint64) bool {
+	set := c.SetIndex(addr)
+	for w := range c.sets[set] {
+		if !c.sets[set][w].valid {
+			return false
+		}
+	}
+	return true
+}
+
+// victimWay returns the way Install would replace in set (an invalid way if
+// one exists, otherwise the LRU way).
+func (c *Cache) victimWay(set int) int {
+	lru, lruWay := ^uint64(0), 0
+	for w := range c.sets[set] {
+		if !c.sets[set][w].valid {
+			return w
+		}
+		if c.sets[set][w].lastUse < lru {
+			lru = c.sets[set][w].lastUse
+			lruWay = w
+		}
+	}
+	return lruWay
+}
+
+// ProbeVictim returns the address Install(addr) would evict, if any,
+// without side effects.
+func (c *Cache) ProbeVictim(addr uint64) (victim uint64, wouldEvict bool) {
+	if c.Contains(addr) {
+		return 0, false
+	}
+	set := c.SetIndex(addr)
+	w := c.victimWay(set)
+	if c.sets[set][w].valid {
+		return c.sets[set][w].addr, true
+	}
+	return 0, false
+}
+
+// Install brings the line holding addr into the cache, evicting the LRU
+// line if the set is full. If the line is already present it only refreshes
+// LRU state. It returns the evicted line address, if any.
+func (c *Cache) Install(addr uint64) (victim uint64, evicted bool) {
+	if c.Touch(addr) {
+		return 0, false
+	}
+	set := c.SetIndex(addr)
+	w := c.victimWay(set)
+	if c.sets[set][w].valid {
+		victim, evicted = c.sets[set][w].addr, true
+	}
+	c.useTick++
+	c.sets[set][w] = cacheLine{valid: true, addr: c.LineAddr(addr), lastUse: c.useTick}
+	return victim, evicted
+}
+
+// EvictVictim performs only the replacement half of a miss: it evicts the
+// line that Install(addr) would have replaced, without installing addr.
+// This reproduces InvisiSpec's UV1 implementation bug, where a speculative
+// load miss on a full set triggers an L1 replacement even though the
+// speculative line itself stays invisible. It returns the evicted address.
+func (c *Cache) EvictVictim(addr uint64) (victim uint64, evicted bool) {
+	if c.Contains(addr) {
+		return 0, false
+	}
+	set := c.SetIndex(addr)
+	w := c.victimWay(set)
+	if !c.sets[set][w].valid {
+		return 0, false
+	}
+	victim = c.sets[set][w].addr
+	c.sets[set][w] = cacheLine{}
+	return victim, true
+}
+
+// Invalidate removes the line holding addr. It reports whether a line was
+// removed.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return false
+	}
+	c.sets[set][way] = cacheLine{}
+	return true
+}
+
+// InvalidateAll clears the whole cache (the simulator-hook reset used for
+// CleanupSpec and SpecLFB campaigns).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = cacheLine{}
+		}
+	}
+	c.useTick = 0
+}
+
+// Prime fills every way of every set with the address returned by addrFor,
+// the cache-initialization strategy of AMuLeT-Opt: starting from fully
+// occupied sets makes evictions observable in the final snapshot.
+func (c *Cache) Prime(addrFor func(set, way int) uint64) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.useTick++
+			c.sets[s][w] = cacheLine{valid: true, addr: c.LineAddr(addrFor(s, w)), lastUse: c.useTick}
+		}
+	}
+}
+
+// Snapshot returns the sorted addresses of all valid lines: the cache part
+// of a micro-architectural trace.
+func (c *Cache) Snapshot() []uint64 {
+	var out []uint64
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				out = append(out, c.sets[s][w].addr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CacheState is an opaque copy of a cache's content, used to replay test
+// cases from an identical micro-architectural context during violation
+// validation.
+type CacheState struct {
+	sets    [][]cacheLine
+	useTick uint64
+}
+
+// Save captures the full tag state.
+func (c *Cache) Save() *CacheState {
+	st := &CacheState{useTick: c.useTick, sets: make([][]cacheLine, len(c.sets))}
+	for i := range c.sets {
+		st.sets[i] = append([]cacheLine(nil), c.sets[i]...)
+	}
+	return st
+}
+
+// Restore rewinds the cache to a previously saved state. It panics if the
+// state came from a cache with different geometry.
+func (c *Cache) Restore(st *CacheState) {
+	if len(st.sets) != len(c.sets) || (len(st.sets) > 0 && len(st.sets[0]) != len(c.sets[0])) {
+		panic("mem: CacheState geometry mismatch")
+	}
+	for i := range c.sets {
+		copy(c.sets[i], st.sets[i])
+	}
+	c.useTick = st.useTick
+}
+
+// ValidCount returns the number of valid lines.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,394 @@
+package mem
+
+import (
+	"fmt"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// HierConfig configures the memory hierarchy. The defaults mirror the
+// paper's gem5 setup (32 KiB 8-way L1D, 256 MSHRs); testing campaigns
+// shrink individual structures to amplify contention (§3.4).
+type HierConfig struct {
+	L1D, L1I, L2 CacheConfig
+	MSHRs        int
+	TLBEntries   int
+	LFBEntries   int
+
+	LatL1      int // L1 hit latency (cycles)
+	LatL2      int // additional latency for an L2 hit
+	LatMem     int // additional latency for main memory
+	LatTLBWalk int // page-walk latency on a D-TLB miss
+}
+
+// DefaultHierConfig returns the default (paper-like) hierarchy.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1D:        CacheConfig{Sets: 64, Ways: 8, LineSize: isa.LineSize},  // 32 KiB
+		L1I:        CacheConfig{Sets: 64, Ways: 8, LineSize: isa.LineSize},  // 32 KiB
+		L2:         CacheConfig{Sets: 512, Ways: 8, LineSize: isa.LineSize}, // 256 KiB
+		MSHRs:      256,
+		TLBEntries: 64,
+		LFBEntries: 16,
+		LatL1:      2,
+		LatL2:      12,
+		LatMem:     60,
+		LatTLBWalk: 30,
+	}
+}
+
+// Validate reports configuration problems.
+func (c HierConfig) Validate() error {
+	for _, cc := range []struct {
+		name string
+		cfg  CacheConfig
+	}{{"L1D", c.L1D}, {"L1I", c.L1I}, {"L2", c.L2}} {
+		if err := cc.cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", cc.name, err)
+		}
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("mem: MSHRs must be >= 1, got %d", c.MSHRs)
+	}
+	if c.TLBEntries < 1 {
+		return fmt.Errorf("mem: TLB entries must be >= 1, got %d", c.TLBEntries)
+	}
+	if c.LFBEntries < 1 {
+		return fmt.Errorf("mem: LFB entries must be >= 1, got %d", c.LFBEntries)
+	}
+	if c.LatL1 < 1 || c.LatL2 < 1 || c.LatMem < 1 || c.LatTLBWalk < 1 {
+		return fmt.Errorf("mem: latencies must be >= 1")
+	}
+	return nil
+}
+
+// FillSink says where a completed line fill is placed.
+type FillSink uint8
+
+// Fill sinks.
+const (
+	SinkNone  FillSink = iota // data returned to the core only; no state change
+	SinkCache                 // install into L1D (and L2)
+	SinkLFB                   // stage in the line-fill buffer (SpecLFB)
+)
+
+type pendingFill struct {
+	id        uint64
+	at        uint64
+	lineAddr  uint64
+	sink      FillSink
+	owner     uint64
+	cancelled bool
+}
+
+// CompletedFill describes one fill applied by Tick.
+type CompletedFill struct {
+	ID       uint64
+	LineAddr uint64
+	Sink     FillSink
+	Owner    uint64
+	Victim   uint64
+	Evicted  bool
+}
+
+// DataAccessOpts controls how a data-side access interacts with the
+// hierarchy; defenses express their install policies through it.
+type DataAccessOpts struct {
+	UpdateLRU          bool     // refresh replacement state on hits (L1 and L2)
+	Sink               FillSink // where the fill goes on a miss
+	NoMSHR             bool     // bypass MSHR accounting (priming only)
+	EvictOnMissFullSet bool     // InvisiSpec UV1 bug: replace on spec miss
+	Owner              uint64   // sequence number of the owning instruction
+}
+
+// DataAccessResult reports what a data access did and cost.
+type DataAccessResult struct {
+	L1Hit, L2Hit bool
+	Latency      int    // total cycles from issue to data, incl. MSHR wait
+	MSHRWait     int    // cycles spent waiting for a free MSHR
+	Coalesced    bool   // merged into an in-flight fill of the same line
+	FillID       uint64 // nonzero when a fill was scheduled
+	FillAt       uint64 // completion cycle of the scheduled/joined fill
+	Victim       uint64 // line evicted synchronously (UV1 forced eviction)
+	Evicted      bool
+}
+
+// Hierarchy owns the cache/TLB/MSHR/LFB state and the pending-fill queue.
+// All timing is expressed in the caller's cycle domain: the core calls Tick
+// once per cycle and passes the current cycle to every access.
+type Hierarchy struct {
+	Cfg   HierConfig
+	L1D   *Cache
+	L1I   *Cache
+	L2    *Cache
+	MSHR  *MSHRFile
+	DTLB  *TLB
+	LFBuf *LFB
+
+	pending    []pendingFill
+	nextFillID uint64
+
+	// portBusyUntil blocks the data port: accesses issued before this
+	// cycle wait for it. CleanupSpec's rollback raises it, putting cleanup
+	// work on the critical path of execution (the unXpec timing channel).
+	portBusyUntil uint64
+}
+
+// NewHierarchy builds the hierarchy. It panics on invalid configuration.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hierarchy{
+		Cfg:   cfg,
+		L1D:   NewCache(cfg.L1D),
+		L1I:   NewCache(cfg.L1I),
+		L2:    NewCache(cfg.L2),
+		MSHR:  NewMSHRFile(cfg.MSHRs),
+		DTLB:  NewTLB(cfg.TLBEntries),
+		LFBuf: NewLFB(cfg.LFBEntries),
+	}
+}
+
+// Reset restores the post-construction state (empty caches, free MSHRs).
+func (h *Hierarchy) Reset() {
+	h.L1D.InvalidateAll()
+	h.L1I.InvalidateAll()
+	h.L2.InvalidateAll()
+	h.MSHR.Reset()
+	h.DTLB.InvalidateAll()
+	h.LFBuf.Reset()
+	h.pending = h.pending[:0]
+	h.nextFillID = 0
+	h.portBusyUntil = 0
+}
+
+// Tick applies every pending fill due at or before cycle now and returns
+// what was installed, in schedule order. Cancelled fills are dropped.
+func (h *Hierarchy) Tick(now uint64) []CompletedFill {
+	var done []CompletedFill
+	rest := h.pending[:0]
+	for _, f := range h.pending {
+		if f.at > now {
+			rest = append(rest, f)
+			continue
+		}
+		if f.cancelled {
+			continue
+		}
+		cf := CompletedFill{ID: f.id, LineAddr: f.lineAddr, Sink: f.sink, Owner: f.owner}
+		switch f.sink {
+		case SinkCache:
+			cf.Victim, cf.Evicted = h.L1D.Install(f.lineAddr)
+			h.L2.Install(f.lineAddr)
+		case SinkLFB:
+			if !h.LFBuf.Alloc(f.lineAddr, f.owner) {
+				// Buffer full: the line is dropped, never becoming visible.
+				// SpecLFB stalls allocation at issue, so this is rare.
+				cf.Sink = SinkNone
+			}
+			h.L2.Install(f.lineAddr)
+		case SinkNone:
+			// Data delivered to the core; hierarchy state untouched.
+		}
+		done = append(done, cf)
+	}
+	h.pending = rest
+	return done
+}
+
+// PendingFills returns the number of fills still in flight.
+func (h *Hierarchy) PendingFills() int { return len(h.pending) }
+
+// DropPendingFills abandons all in-flight fills without applying them
+// (m5exit / checkpoint-restore semantics between test cases).
+func (h *Hierarchy) DropPendingFills() { h.pending = h.pending[:0] }
+
+// HierState is an opaque copy of the hierarchy's persistent state (caches
+// and TLB). Transient state — MSHRs, LFB, pending fills — is not captured:
+// it never survives across test cases anyway.
+type HierState struct {
+	l1d, l1i, l2 *CacheState
+	tlb          *TLBState
+}
+
+// Save captures cache and TLB state for later replay.
+func (h *Hierarchy) Save() *HierState {
+	return &HierState{
+		l1d: h.L1D.Save(), l1i: h.L1I.Save(), l2: h.L2.Save(), tlb: h.DTLB.Save(),
+	}
+}
+
+// Restore rewinds caches and TLB to a saved state and clears transient
+// structures.
+func (h *Hierarchy) Restore(st *HierState) {
+	h.L1D.Restore(st.l1d)
+	h.L1I.Restore(st.l1i)
+	h.L2.Restore(st.l2)
+	h.DTLB.Restore(st.tlb)
+	h.MSHR.Reset()
+	h.LFBuf.Reset()
+	h.DropPendingFills()
+}
+
+// CancelFill marks an in-flight fill as cancelled (squash paths of
+// InvisiSpec's speculative buffer and SpecLFB).
+func (h *Hierarchy) CancelFill(id uint64) {
+	for i := range h.pending {
+		if h.pending[i].id == id {
+			h.pending[i].cancelled = true
+			return
+		}
+	}
+}
+
+// ScheduleFill enqueues a fill of lineAddr completing at cycle at.
+func (h *Hierarchy) ScheduleFill(at, lineAddr uint64, sink FillSink, owner uint64) uint64 {
+	h.nextFillID++
+	h.pending = append(h.pending, pendingFill{
+		id: h.nextFillID, at: at, lineAddr: lineAddr, sink: sink, owner: owner,
+	})
+	return h.nextFillID
+}
+
+// BlockDataPort keeps new data accesses from starting before cycle until
+// (rollback work on the cache's critical path).
+func (h *Hierarchy) BlockDataPort(until uint64) {
+	if until > h.portBusyUntil {
+		h.portBusyUntil = until
+	}
+}
+
+// ClearPortBlock lifts any data-port block (test-case reset).
+func (h *Hierarchy) ClearPortBlock() { h.portBusyUntil = 0 }
+
+// AccessData performs one data-side cache access at cycle now for virtual
+// address va. The access covers a single cache line; the core splits
+// line-crossing requests itself (split requests matter to CleanupSpec UV4).
+func (h *Hierarchy) AccessData(now, va uint64, opts DataAccessOpts) DataAccessResult {
+	var portWait int
+	if now < h.portBusyUntil {
+		portWait = int(h.portBusyUntil - now)
+		now = h.portBusyUntil
+	}
+	la := h.L1D.LineAddr(va)
+	var res DataAccessResult
+	res.Latency = portWait
+
+	hit := false
+	if opts.UpdateLRU {
+		hit = h.L1D.Touch(la)
+	} else {
+		hit = h.L1D.Contains(la)
+	}
+	if hit {
+		res.L1Hit = true
+		res.Latency += h.Cfg.LatL1
+		return res
+	}
+
+	// L1 miss. InvisiSpec's UV1 bug evicts the replacement victim even for
+	// requests that will not install.
+	if opts.EvictOnMissFullSet && h.L1D.SetFull(la) {
+		res.Victim, res.Evicted = h.L1D.EvictVictim(la)
+	}
+
+	if opts.UpdateLRU {
+		res.L2Hit = h.L2.Touch(la)
+	} else {
+		res.L2Hit = h.L2.Contains(la)
+	}
+	missLat := h.Cfg.LatL2
+	if !res.L2Hit {
+		missLat += h.Cfg.LatMem
+	}
+
+	if opts.NoMSHR {
+		complete := now + uint64(missLat)
+		if opts.Sink != SinkNone {
+			res.FillID = h.ScheduleFill(complete, la, opts.Sink, opts.Owner)
+		}
+		res.FillAt = complete
+		res.Latency += h.Cfg.LatL1 + missLat
+		return res
+	}
+
+	if busyUntil, ok := h.MSHR.Lookup(now, la); ok {
+		// Coalesce with the in-flight fill of the same line. The data
+		// arrives when that fill completes; if this requester demands a
+		// more visible sink than the in-flight request (e.g. a committed
+		// store joining an invisible speculative load's miss), its own
+		// placement still happens at fill time.
+		res.Coalesced = true
+		res.FillAt = busyUntil
+		res.Latency += h.Cfg.LatL1 + int(busyUntil-now)
+		if opts.Sink != SinkNone {
+			res.FillID = h.ScheduleFill(busyUntil, la, opts.Sink, opts.Owner)
+		}
+		return res
+	}
+
+	start := h.MSHR.EarliestFree(now)
+	res.MSHRWait = int(start - now)
+	complete := start + uint64(missLat)
+	h.MSHR.Alloc(start, complete, la)
+	if opts.Sink != SinkNone {
+		res.FillID = h.ScheduleFill(complete, la, opts.Sink, opts.Owner)
+	}
+	res.FillAt = complete
+	res.Latency += h.Cfg.LatL1 + res.MSHRWait + missLat
+	return res
+}
+
+// AccessInst performs one instruction-side access at cycle now. Instruction
+// misses always install (no defense in this work protects the L1I; that gap
+// is the known InvisiSpec vulnerability KV1) and use an implicit,
+// unbounded instruction-MSHR pool.
+func (h *Hierarchy) AccessInst(now, va uint64) (latency int) {
+	la := h.L1I.LineAddr(va)
+	if h.L1I.Touch(la) {
+		return h.Cfg.LatL1
+	}
+	missLat := h.Cfg.LatL2
+	if !h.L2.Touch(la) {
+		missLat += h.Cfg.LatMem
+	}
+	h.ScheduleFill(now+uint64(missLat), la, SinkNone, 0)
+	// Instruction lines install immediately in the tag array: the fetch
+	// unit blocks on the miss anyway, so by the time fetch resumes the line
+	// is present. The SinkNone fill above only models MSHR-free timing.
+	h.L1I.Install(la)
+	h.L2.Install(la)
+	return h.Cfg.LatL1 + missLat
+}
+
+// TranslateData translates the page of va at cycle now. When install is
+// true a missing translation is brought into the D-TLB (this is the hook
+// STT's KV3 bug abuses: tainted speculative stores install translations).
+func (h *Hierarchy) TranslateData(now, va uint64, install bool) (latency int, hit bool) {
+	page := va / isa.PageSize
+	if h.DTLB.Touch(page) {
+		return 0, true
+	}
+	if install {
+		h.DTLB.Install(page)
+	}
+	return h.Cfg.LatTLBWalk, false
+}
+
+// PrimeBase is the base of the out-of-sandbox address region used to fill
+// cache sets before a test (AMuLeT's C2 solution). It is far above any
+// sandbox so primed lines can never alias test data, and it is aligned so
+// that consecutive lines walk the sets in order.
+const PrimeBase uint64 = 0x1000000
+
+// ConflictAddr returns the way-th priming address for the given L1D set.
+func (h *Hierarchy) ConflictAddr(set, way int) uint64 {
+	sets := uint64(h.Cfg.L1D.Sets)
+	return PrimeBase + (uint64(way)*sets+uint64(set))*uint64(h.Cfg.L1D.LineSize)
+}
+
+// PrimeL1D fills every L1D set with conflicting out-of-sandbox addresses.
+func (h *Hierarchy) PrimeL1D() {
+	h.L1D.Prime(h.ConflictAddr)
+}

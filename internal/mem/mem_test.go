@@ -1,0 +1,247 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCache() *Cache {
+	return NewCache(CacheConfig{Sets: 4, Ways: 2, LineSize: 64})
+}
+
+func TestCacheInstallAndTouch(t *testing.T) {
+	c := testCache()
+	if c.Touch(0x100) {
+		t.Fatalf("empty cache hit")
+	}
+	if v, ev := c.Install(0x100); ev {
+		t.Fatalf("install into empty set evicted %#x", v)
+	}
+	if !c.Touch(0x100) || !c.Touch(0x13f) {
+		t.Errorf("same-line addresses must hit")
+	}
+	if c.Touch(0x140) {
+		t.Errorf("different line hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := testCache() // 4 sets, 2 ways; set stride = 256 bytes
+	// Three conflicting lines in set 0: 0x000, 0x100, 0x200.
+	c.Install(0x000)
+	c.Install(0x100)
+	c.Touch(0x000) // make 0x100 the LRU
+	v, ev := c.Install(0x200)
+	if !ev || v != 0x100 {
+		t.Errorf("evicted %#x (ev=%v), want 0x100", v, ev)
+	}
+	if c.Contains(0x100) {
+		t.Errorf("evicted line still present")
+	}
+}
+
+func TestCacheProbeVictimNoSideEffect(t *testing.T) {
+	c := testCache()
+	c.Install(0x000)
+	c.Install(0x100)
+	v, would := c.ProbeVictim(0x200)
+	if !would || v != 0x000 {
+		t.Errorf("probe = %#x,%v", v, would)
+	}
+	if !c.Contains(0x000) || !c.Contains(0x100) {
+		t.Errorf("probe had side effects")
+	}
+	if _, would := c.ProbeVictim(0x100); would {
+		t.Errorf("probe of a present line must not evict")
+	}
+}
+
+func TestCacheEvictVictim(t *testing.T) {
+	c := testCache()
+	c.Install(0x000)
+	c.Install(0x100)
+	v, ev := c.EvictVictim(0x200)
+	if !ev || v != 0x000 {
+		t.Errorf("EvictVictim = %#x,%v", v, ev)
+	}
+	if c.Contains(0x000) {
+		t.Errorf("victim still present")
+	}
+	if c.Contains(0x200) {
+		t.Errorf("EvictVictim must not install")
+	}
+	// Nothing to evict when the set has a free way now.
+	if _, ev := c.EvictVictim(0x300); ev {
+		t.Errorf("eviction from a non-full set")
+	}
+}
+
+func TestCacheSnapshotSorted(t *testing.T) {
+	c := testCache()
+	c.Install(0x080) // set 2
+	c.Install(0x000) // set 0
+	c.Install(0x040) // set 1
+	snap := c.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Errorf("snapshot not sorted: %#x", snap)
+		}
+	}
+	if len(snap) != 3 {
+		t.Errorf("snapshot size %d", len(snap))
+	}
+}
+
+func TestCachePrimeFillsEverything(t *testing.T) {
+	c := testCache()
+	c.Prime(func(set, way int) uint64 {
+		return uint64(0x10000 + set*64 + way*1024)
+	})
+	if c.ValidCount() != 8 {
+		t.Errorf("prime filled %d of 8 lines", c.ValidCount())
+	}
+	if !c.SetFull(0x10000) {
+		t.Errorf("set not full after prime")
+	}
+}
+
+func TestCacheSaveRestore(t *testing.T) {
+	c := testCache()
+	c.Install(0x100)
+	st := c.Save()
+	c.Install(0x200)
+	c.Install(0x300)
+	c.Restore(st)
+	if !c.Contains(0x100) || c.Contains(0x200) || c.Contains(0x300) {
+		t.Errorf("restore wrong: %#x", c.Snapshot())
+	}
+}
+
+// TestCacheInvariantsProperty: after arbitrary operation sequences, no set
+// holds duplicate lines and ValidCount matches the snapshot length.
+func TestCacheInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(CacheConfig{Sets: 8, Ways: 4, LineSize: 64})
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(1 << 14))
+			switch rng.Intn(4) {
+			case 0:
+				c.Install(addr)
+			case 1:
+				c.Touch(addr)
+			case 2:
+				c.Invalidate(addr)
+			case 3:
+				c.EvictVictim(addr)
+			}
+		}
+		snap := c.Snapshot()
+		if len(snap) != c.ValidCount() {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, la := range snap {
+			if seen[la] || la%64 != 0 {
+				return false
+			}
+			seen[la] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRAllocAndCoalesce(t *testing.T) {
+	m := NewMSHRFile(2)
+	if m.FreeCount(0) != 2 {
+		t.Fatalf("fresh file not free")
+	}
+	m.Alloc(0, 10, 0x100)
+	if until, ok := m.Lookup(5, 0x100); !ok || until != 10 {
+		t.Errorf("Lookup = %d,%v", until, ok)
+	}
+	if _, ok := m.Lookup(10, 0x100); ok {
+		t.Errorf("expired entry still found")
+	}
+	m.Alloc(0, 20, 0x200)
+	if m.FreeCount(5) != 0 {
+		t.Errorf("FreeCount(5) = %d", m.FreeCount(5))
+	}
+	if got := m.EarliestFree(5); got != 10 {
+		t.Errorf("EarliestFree = %d", got)
+	}
+	if got := m.EarliestFree(15); got != 15 {
+		t.Errorf("EarliestFree(15) = %d", got)
+	}
+	busy := m.Busy(5)
+	if len(busy) != 2 || busy[0] != 0x100 {
+		t.Errorf("Busy = %#x", busy)
+	}
+}
+
+func TestMSHRAllocPanicsWhenFull(t *testing.T) {
+	m := NewMSHRFile(1)
+	m.Alloc(0, 10, 0x100)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	m.Alloc(5, 15, 0x200)
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Install(1)
+	tlb.Install(2)
+	tlb.Touch(1) // 2 becomes LRU
+	v, ev := tlb.Install(3)
+	if !ev || v != 2 {
+		t.Errorf("TLB evicted %d, want 2", v)
+	}
+	snap := tlb.Snapshot()
+	if len(snap) != 2 || snap[0] != 1 || snap[1] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestTLBSaveRestore(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Install(7)
+	st := tlb.Save()
+	tlb.Install(9)
+	tlb.Restore(st)
+	if tlb.Contains(9) || !tlb.Contains(7) {
+		t.Errorf("restore wrong: %v", tlb.Snapshot())
+	}
+}
+
+func TestLFBAllocReleaseDrop(t *testing.T) {
+	l := NewLFB(2)
+	if !l.Alloc(0x100, 1) || !l.Alloc(0x200, 2) {
+		t.Fatalf("alloc failed")
+	}
+	if l.Alloc(0x300, 3) {
+		t.Errorf("alloc beyond capacity succeeded")
+	}
+	if !l.Alloc(0x100, 9) {
+		t.Errorf("coalescing alloc of staged line failed")
+	}
+	if !l.Release(0x100) {
+		t.Errorf("release failed")
+	}
+	if l.Contains(0x100) {
+		t.Errorf("released line still staged")
+	}
+	l.DropOwner(2)
+	if l.Contains(0x200) {
+		t.Errorf("DropOwner left the line")
+	}
+	if l.FreeCount() != 2 {
+		t.Errorf("FreeCount = %d", l.FreeCount())
+	}
+}

@@ -1,0 +1,101 @@
+package mem
+
+import "sort"
+
+// MSHRFile models the miss-status handling registers of the L1 data cache.
+// Each outstanding line fill occupies one entry from allocation until the
+// fill completes. When every entry is busy, new misses must wait — the
+// contention channel behind the paper's same-core speculative interference
+// attack on InvisiSpec (UV2), amplified by configuring few entries.
+type MSHRFile struct {
+	entries []mshrEntry
+}
+
+type mshrEntry struct {
+	addr      uint64 // line address
+	busyUntil uint64 // cycle at which the fill completes and the entry frees
+}
+
+// NewMSHRFile builds a file with n entries. It panics if n < 1.
+func NewMSHRFile(n int) *MSHRFile {
+	if n < 1 {
+		panic("mem: MSHR count must be at least 1")
+	}
+	return &MSHRFile{entries: make([]mshrEntry, n)}
+}
+
+// Size returns the number of entries.
+func (m *MSHRFile) Size() int { return len(m.entries) }
+
+// Lookup reports whether a fill for the line holding addr is already in
+// flight at cycle now, and when it completes (miss coalescing).
+func (m *MSHRFile) Lookup(now, lineAddr uint64) (busyUntil uint64, ok bool) {
+	for _, e := range m.entries {
+		if e.busyUntil > now && e.addr == lineAddr {
+			return e.busyUntil, true
+		}
+	}
+	return 0, false
+}
+
+// FreeCount returns the number of entries free at cycle now.
+func (m *MSHRFile) FreeCount(now uint64) int {
+	n := 0
+	for _, e := range m.entries {
+		if e.busyUntil <= now {
+			n++
+		}
+	}
+	return n
+}
+
+// EarliestFree returns the earliest cycle (>= now) at which at least one
+// entry is free.
+func (m *MSHRFile) EarliestFree(now uint64) uint64 {
+	best := ^uint64(0)
+	for _, e := range m.entries {
+		if e.busyUntil <= now {
+			return now
+		}
+		if e.busyUntil < best {
+			best = e.busyUntil
+		}
+	}
+	return best
+}
+
+// Alloc reserves an entry for a fill of lineAddr starting at cycle start
+// and completing at cycle until. The caller must ensure an entry is free at
+// start (use EarliestFree); Alloc panics otherwise, because silent
+// over-allocation would hide exactly the contention this model exists to
+// expose.
+func (m *MSHRFile) Alloc(start, until uint64, lineAddr uint64) {
+	for i := range m.entries {
+		if m.entries[i].busyUntil <= start {
+			m.entries[i] = mshrEntry{addr: lineAddr, busyUntil: until}
+			return
+		}
+	}
+	panic("mem: MSHR Alloc with no free entry")
+}
+
+// Reset frees all entries.
+func (m *MSHRFile) Reset() {
+	for i := range m.entries {
+		m.entries[i] = mshrEntry{}
+	}
+}
+
+// Busy returns the line addresses of entries still busy at cycle now,
+// sorted; used by the debug log when explaining interference violations
+// (paper Table 7).
+func (m *MSHRFile) Busy(now uint64) []uint64 {
+	var out []uint64
+	for _, e := range m.entries {
+		if e.busyUntil > now {
+			out = append(out, e.addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,118 @@
+package mem
+
+import "sort"
+
+// TLB is a fully associative data TLB with true-LRU replacement over
+// virtual page numbers. Its final state is part of the default
+// micro-architectural trace: speculative TLB fills are how AMuLeT flags the
+// known STT vulnerability (KV3, tainted stores installing D-TLB entries).
+type TLB struct {
+	entries []tlbEntry
+	useTick uint64
+}
+
+type tlbEntry struct {
+	valid   bool
+	page    uint64 // virtual page number
+	lastUse uint64
+}
+
+// NewTLB builds a TLB with n entries. It panics if n < 1.
+func NewTLB(n int) *TLB {
+	if n < 1 {
+		panic("mem: TLB size must be at least 1")
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+// Size returns the number of entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Touch looks up page and refreshes LRU on a hit.
+func (t *TLB) Touch(page uint64) bool {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].page == page {
+			t.useTick++
+			t.entries[i].lastUse = t.useTick
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports presence without updating LRU.
+func (t *TLB) Contains(page uint64) bool {
+	for _, e := range t.entries {
+		if e.valid && e.page == page {
+			return true
+		}
+	}
+	return false
+}
+
+// Install inserts page, evicting the LRU entry if full. It returns the
+// evicted page, if any.
+func (t *TLB) Install(page uint64) (victim uint64, evicted bool) {
+	if t.Touch(page) {
+		return 0, false
+	}
+	lru, lruIdx := ^uint64(0), 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			lruIdx = i
+			lru = 0
+			break
+		}
+		if t.entries[i].lastUse < lru {
+			lru = t.entries[i].lastUse
+			lruIdx = i
+		}
+	}
+	if t.entries[lruIdx].valid {
+		victim, evicted = t.entries[lruIdx].page, true
+	}
+	t.useTick++
+	t.entries[lruIdx] = tlbEntry{valid: true, page: page, lastUse: t.useTick}
+	return victim, evicted
+}
+
+// InvalidateAll clears the TLB.
+func (t *TLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+	t.useTick = 0
+}
+
+// TLBState is an opaque copy of the TLB content (violation validation).
+type TLBState struct {
+	entries []tlbEntry
+	useTick uint64
+}
+
+// Save captures the TLB state.
+func (t *TLB) Save() *TLBState {
+	return &TLBState{entries: append([]tlbEntry(nil), t.entries...), useTick: t.useTick}
+}
+
+// Restore rewinds the TLB to a saved state. It panics on size mismatch.
+func (t *TLB) Restore(st *TLBState) {
+	if len(st.entries) != len(t.entries) {
+		panic("mem: TLBState size mismatch")
+	}
+	copy(t.entries, st.entries)
+	t.useTick = st.useTick
+}
+
+// Snapshot returns the sorted virtual page numbers currently cached: the
+// TLB part of a micro-architectural trace.
+func (t *TLB) Snapshot() []uint64 {
+	var out []uint64
+	for _, e := range t.entries {
+		if e.valid {
+			out = append(out, e.page)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

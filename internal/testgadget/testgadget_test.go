@@ -1,0 +1,49 @@
+package testgadget
+
+import (
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+func TestGadgetProgramsValidate(t *testing.T) {
+	for _, p := range []*isa.Program{
+		SpectreV1RegSecret(10),
+		SpectreV1MemSecret(10, false),
+		SpectreV1MemSecret(10, true),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("gadget invalid: %v", err)
+		}
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	s := &Snapshot{L1D: []uint64{isa.DataBase + 0x100}, TLB: []uint64{isa.DataBase / isa.PageSize}}
+	if !s.HasLine(isa.DataBase + 0x13f) {
+		t.Errorf("HasLine must match any address in the line")
+	}
+	if s.HasLine(isa.DataBase + 0x140) {
+		t.Errorf("HasLine matched the wrong line")
+	}
+	if !s.HasPage(isa.DataBase + 123) {
+		t.Errorf("HasPage missed the page")
+	}
+	o := &Snapshot{L1D: []uint64{isa.DataBase + 0x100}}
+	if !s.EqualCaches(o) {
+		t.Errorf("EqualCaches wrong")
+	}
+	if s.EqualTLB(o) {
+		t.Errorf("EqualTLB must compare lengths")
+	}
+}
+
+func TestRunProducesSnapshot(t *testing.T) {
+	sb := isa.Sandbox{Pages: 1}
+	core := uarch.NewCore(uarch.DefaultConfig(), nil)
+	snap := Run(core, SpectreV1RegSecret(10), sb, BoundsInput(sb), PrimeFill)
+	if snap.EndCycle == 0 || len(snap.L1D) == 0 {
+		t.Errorf("empty snapshot")
+	}
+}

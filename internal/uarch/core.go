@@ -1,0 +1,848 @@
+package uarch
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/mem"
+)
+
+// ErrMaxCycles is returned by Run when the cycle budget is exhausted.
+var ErrMaxCycles = errors.New("uarch: simulation exceeded MaxCycles")
+
+// Core is the out-of-order processor. One Core is reused across the many
+// inputs of a test program (the AMuLeT-Opt strategy): LoadTest installs a
+// program, ResetForInput rewinds the pipeline and architectural state while
+// deliberately preserving predictor and cache state, and ResetUarch
+// restores a fresh micro-architectural context when required (Naive mode
+// and violation validation).
+type Core struct {
+	cfg Config
+	def Defense
+
+	Hier *mem.Hierarchy
+	BP   *BPred
+	MD   *MDP
+	Log  DebugLog
+
+	prog *isa.Program
+	sb   isa.Sandbox
+
+	// Committed architectural state.
+	regs  [isa.NumRegs]uint64
+	flags isa.Flags
+	img   *isa.Image
+
+	// Pipeline state.
+	cycle           uint64
+	seq             uint64
+	rob             []*DynInst
+	renameReg       [isa.NumRegs]*DynInst
+	renameFlags     *DynInst
+	fetchIdx        int
+	fetchStallUntil uint64
+	fence           *DynInst
+	lastILine       uint64
+	haveILine       bool
+	phantomPC       uint64
+
+	stats       Stats
+	accessOrder []AccessRec
+	branchOrder []BranchRec
+
+	ended    bool
+	endCycle uint64
+}
+
+// NewCore builds a core with the given configuration and defense. It panics
+// on invalid configuration; campaign entry points validate beforehand.
+func NewCore(cfg Config, def Defense) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if def == nil {
+		def = NopDefense{}
+	}
+	c := &Core{
+		cfg:  cfg,
+		def:  def,
+		Hier: mem.NewHierarchy(cfg.Hier),
+		BP:   NewBPred(cfg.BPred),
+		MD:   NewMDP(),
+	}
+	def.Attach(c)
+	return c
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Defense returns the attached defense.
+func (c *Core) Defense() Defense { return c.def }
+
+// Sandbox returns the sandbox of the loaded test program.
+func (c *Core) Sandbox() isa.Sandbox { return c.sb }
+
+// Program returns the loaded test program.
+func (c *Core) Program() *isa.Program { return c.prog }
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.cycle }
+
+// ROB exposes the reorder buffer to defenses (oldest first).
+func (c *Core) ROB() []*DynInst { return c.rob }
+
+// Regs returns the committed register file.
+func (c *Core) Regs() [isa.NumRegs]uint64 { return c.regs }
+
+// Image returns the committed data-memory image.
+func (c *Core) Image() *isa.Image { return c.img }
+
+// Stats returns the counters of the last run.
+func (c *Core) Stats() Stats { return c.stats }
+
+// EndCycle returns the cycle at which the last instruction committed.
+func (c *Core) EndCycle() uint64 { return c.endCycle }
+
+// AccessOrder returns the memory-access-order trace of the last run.
+func (c *Core) AccessOrder() []AccessRec { return c.accessOrder }
+
+// BranchOrder returns the branch-prediction-order trace of the last run.
+func (c *Core) BranchOrder() []BranchRec { return c.branchOrder }
+
+// LoadTest installs a test program. The micro-architectural state is left
+// untouched; call ResetUarch for a fresh context.
+func (c *Core) LoadTest(p *isa.Program, sb isa.Sandbox) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := sb.Validate(); err != nil {
+		return err
+	}
+	c.prog = p
+	c.sb = sb
+	c.img = isa.NewImage(sb)
+	return nil
+}
+
+// ResetForInput rewinds the pipeline and loads the architectural input,
+// preserving predictor, cache and TLB state — the AMuLeT-Opt behaviour of
+// overwriting registers and sandbox memory in the running simulator.
+func (c *Core) ResetForInput(in *isa.Input) {
+	c.regs = in.Regs
+	c.flags = isa.Flags{}
+	c.img.SetBytes(in.Mem)
+
+	c.cycle = 0
+	c.seq = 0
+	c.rob = c.rob[:0]
+	for i := range c.renameReg {
+		c.renameReg[i] = nil
+	}
+	c.renameFlags = nil
+	c.fetchIdx = 0
+	c.fetchStallUntil = 0
+	c.fence = nil
+	c.haveILine = false
+	c.phantomPC = 0
+	c.stats = Stats{}
+	c.accessOrder = c.accessOrder[:0]
+	c.branchOrder = c.branchOrder[:0]
+	c.ended = false
+	c.endCycle = 0
+	c.Log.Reset()
+
+	// MSHRs, port blocks and pending fills do not survive the checkpoint
+	// restore between inputs: in-flight requests from the previous test
+	// case are abandoned.
+	c.Hier.MSHR.Reset()
+	c.Hier.ClearPortBlock()
+	c.Hier.DropPendingFills()
+	c.def.Reset()
+}
+
+// ResetUarch restores a fresh micro-architectural context: predictors,
+// caches, TLB, LFB. Used by AMuLeT-Naive before every input and by the
+// violation-validation re-runs.
+func (c *Core) ResetUarch() {
+	c.BP.Reset()
+	c.MD.Reset()
+	c.Hier.Reset()
+}
+
+// UarchState is an opaque copy of the persistent micro-architectural
+// context µ (caches, TLB, predictors).
+type UarchState struct {
+	hier *mem.HierState
+	bp   *BPredState
+	mdp  *MDPState
+}
+
+// SaveUarch captures the current micro-architectural context, so violation
+// validation can replay two inputs from the *same* context µ, as
+// Definition 2.1 requires.
+func (c *Core) SaveUarch() *UarchState {
+	return &UarchState{hier: c.Hier.Save(), bp: c.BP.Save(), mdp: c.MD.Save()}
+}
+
+// RestoreUarch rewinds the micro-architectural context to a saved state.
+func (c *Core) RestoreUarch(st *UarchState) {
+	c.Hier.Restore(st.hier)
+	c.BP.Restore(st.bp)
+	c.MD.Restore(st.mdp)
+}
+
+// Run simulates the loaded test case to completion: it returns once the
+// last dynamic instruction has committed (the m5exit point; in-flight fills
+// and queued defense work are abandoned, as with m5exit in gem5).
+func (c *Core) Run() error {
+	if c.prog == nil {
+		return errors.New("uarch: Run before LoadTest")
+	}
+	for {
+		c.cycle++
+		if c.cycle > c.cfg.MaxCycles {
+			return fmt.Errorf("%w (%d)", ErrMaxCycles, c.cfg.MaxCycles)
+		}
+		fills := c.Hier.Tick(c.cycle)
+		for _, f := range fills {
+			if f.Sink == mem.SinkCache {
+				c.Log.Add(c.cycle, f.Owner, 0, LogFill, f.LineAddr)
+			}
+		}
+		c.def.OnFills(fills)
+		c.def.OnTick()
+
+		c.writeback()
+		c.commit()
+		c.issue()
+		c.fetch()
+
+		if len(c.rob) == 0 && c.fetchIdx >= c.prog.Len() {
+			c.ended = true
+			c.endCycle = c.cycle
+			c.stats.Cycles = c.cycle
+			// m5exit: the memory system drains in-flight fills (committed
+			// stores' write-allocates and already-issued requests land),
+			// while defense work queues — e.g. InvisiSpec's not-yet-issued
+			// Expose requests — are abandoned. Without the drain, the
+			// *timing* of the last instructions would decide which committed
+			// stores become visible, which is not a leak gem5 exhibits.
+			for c.Hier.PendingFills() > 0 && c.cycle < c.cfg.MaxCycles {
+				c.cycle++
+				c.def.OnFills(c.Hier.Tick(c.cycle))
+			}
+			return nil
+		}
+	}
+}
+
+// --- writeback & branch resolution ---
+
+func (c *Core) writeback() {
+	for i := 0; i < len(c.rob); i++ {
+		in := c.rob[i]
+		if in.State != StExecuting || in.DoneAt > c.cycle {
+			continue
+		}
+		in.State = StDone
+		if in.IsBranch() {
+			if c.resolveBranch(in) {
+				return // squash truncated the ROB; younger entries are gone
+			}
+			continue
+		}
+		c.def.OnResult(in)
+	}
+}
+
+// resolveBranch resolves a conditional branch and reports whether it
+// squashed the pipeline.
+func (c *Core) resolveBranch(br *DynInst) bool {
+	br.Taken = br.Flags().Eval(br.In.Cond)
+	actualIdx := br.Idx + 1
+	if br.Taken {
+		actualIdx = br.In.Target
+	}
+	c.def.OnBranchResolved(br)
+	c.BP.Update(br.PC, br.HistAtPred, br.Taken, isa.PCOf(br.In.Target))
+	c.def.OnResult(br)
+	if br.Taken == br.PredTaken {
+		return false
+	}
+	c.stats.Mispredicts++
+	c.BP.Repair(br.HistAtPred, br.Taken)
+	c.Log.Add(c.cycle, br.Seq, br.PC, LogSquash, isa.PCOf(actualIdx))
+	c.squashYoungerThan(br.Seq, actualIdx)
+	return true
+}
+
+// squashYoungerThan removes every instruction younger than seq from the
+// pipeline and redirects fetch to redirectIdx. Defense cleanup work delays
+// the redirect (the unXpec timing channel).
+func (c *Core) squashYoungerThan(seq uint64, redirectIdx int) {
+	cut := len(c.rob)
+	for i, in := range c.rob {
+		if in.Seq > seq {
+			cut = i
+			break
+		}
+	}
+	squashed := make([]*DynInst, len(c.rob)-cut)
+	copy(squashed, c.rob[cut:])
+	c.rob = c.rob[:cut]
+	// Youngest first, matching squash walk order in hardware.
+	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
+		squashed[i], squashed[j] = squashed[j], squashed[i]
+	}
+	for _, in := range squashed {
+		in.State = StSquashed
+	}
+	c.stats.Squashed += uint64(len(squashed))
+	c.rebuildRename()
+	extra := 0
+	if len(squashed) > 0 {
+		extra = c.def.OnSquash(squashed)
+	}
+	if c.fence != nil && c.fence.State == StSquashed {
+		c.fence = nil
+	}
+	c.fetchIdx = redirectIdx
+	c.fetchStallUntil = c.cycle + 1 + uint64(extra)
+	c.haveILine = false
+	c.phantomPC = 0
+}
+
+func (c *Core) rebuildRename() {
+	for i := range c.renameReg {
+		c.renameReg[i] = nil
+	}
+	c.renameFlags = nil
+	for _, in := range c.rob {
+		if in.State == StCommitted {
+			continue
+		}
+		if in.WritesReg {
+			c.renameReg[in.In.Dst] = in
+		}
+		if in.WritesFlags {
+			c.renameFlags = in
+		}
+	}
+}
+
+// --- commit ---
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		in := c.rob[0]
+		if in.State != StDone {
+			return
+		}
+		in.State = StCommitted
+		if in.WritesReg {
+			c.regs[in.In.Dst] = in.Result
+		}
+		if in.WritesFlags {
+			c.flags = in.ResFlags
+		}
+		if in.IsStore() {
+			c.img.Write(in.EffAddr, in.In.Size, in.Result)
+			c.commitStoreCache(in)
+			c.Log.Add(c.cycle, in.Seq, in.PC, LogCommitSt, in.EffAddr)
+		}
+		if in.IsLoad() && in.Bypassed {
+			c.MD.TrainCorrect(in.PC)
+		}
+		c.def.OnCommit(in)
+		if c.renameReg[in.In.Dst] == in {
+			c.renameReg[in.In.Dst] = nil
+		}
+		if c.renameFlags == in {
+			c.renameFlags = nil
+		}
+		if c.fence == in {
+			c.fence = nil
+		}
+		c.rob = c.rob[1:]
+		c.stats.Committed++
+	}
+}
+
+// commitStoreCache performs the committed store's cache write (write
+// allocate). Committed stores are architecturally safe, so every defense
+// lets them install.
+func (c *Core) commitStoreCache(st *DynInst) {
+	opts := mem.DataAccessOpts{UpdateLRU: true, Sink: mem.SinkCache, Owner: st.Seq}
+	c.accessLines(st, opts)
+}
+
+// accessLines performs the one or two line accesses of a memory operation.
+func (c *Core) accessLines(in *DynInst, opts mem.DataAccessOpts) (res1, res2 mem.DataAccessResult) {
+	c.stats.L1DAccesses++
+	res1 = c.Hier.AccessData(c.cycle, in.EffAddr, opts)
+	if !res1.L1Hit {
+		c.stats.L1DMisses++
+	}
+	if res1.FillID != 0 {
+		in.FillIDs = append(in.FillIDs, res1.FillID)
+	}
+	if in.IsSplit {
+		c.stats.L1DAccesses++
+		res2 = c.Hier.AccessData(c.cycle, in.Line2, opts)
+		if !res2.L1Hit {
+			c.stats.L1DMisses++
+		}
+		if res2.FillID != 0 {
+			in.FillIDs = append(in.FillIDs, res2.FillID)
+		}
+	}
+	return res1, res2
+}
+
+// --- issue / execute ---
+
+// UnderShadow reports whether an older unresolved conditional branch exists
+// for in: the speculation shadow that defenses key their protection on.
+func (c *Core) UnderShadow(in *DynInst) bool {
+	for _, older := range c.rob {
+		if older.Seq >= in.Seq {
+			return false
+		}
+		if older.IsBranch() && older.State != StDone && older.State != StCommitted {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) issue() {
+	issued := 0
+	for i := 0; i < len(c.rob) && issued < c.cfg.IssueWidth; i++ {
+		in := c.rob[i]
+		if in.State != StDispatched {
+			continue
+		}
+		switch {
+		case in.In.Op == isa.OpNop:
+			in.State = StExecuting
+			in.DoneAt = c.cycle + 1
+			issued++
+		case in.In.Op == isa.OpFence:
+			// Serializing: executes only at the head of the ROB.
+			if i == 0 {
+				in.State = StExecuting
+				in.DoneAt = c.cycle + 1
+				issued++
+			}
+		case in.In.Op == isa.OpJmp:
+			in.State = StExecuting
+			in.DoneAt = c.cycle + 1
+			issued++
+		case in.IsBranch():
+			if in.DepsDone() {
+				in.State = StExecuting
+				in.DoneAt = c.cycle + uint64(c.cfg.LatBranch)
+				issued++
+			}
+		case in.In.Op.IsALU():
+			if in.DepsDone() {
+				c.executeALU(in)
+				issued++
+			}
+		case in.IsLoad():
+			if c.tryIssueLoad(in) {
+				issued++
+			}
+		case in.IsStore():
+			if c.tryIssueStore(in, &issued) {
+				return // memory-order squash rewrote the ROB
+			}
+		}
+	}
+}
+
+func (c *Core) executeALU(in *DynInst) {
+	a := in.SrcVal(0)
+	b := in.SrcVal(1)
+	if in.In.UseImm || in.In.Op == isa.OpMovImm {
+		b = uint64(in.In.Imm)
+	}
+	res, fl, writes := isa.EvalALU(in.In.Op, in.In.Cond, a, b, in.SrcVal(2), in.Flags())
+	in.Result = res
+	in.ResFlags = fl
+	_ = writes // WritesReg was fixed at dispatch
+	lat := c.cfg.LatALU
+	if in.In.Op == isa.OpMul {
+		lat = c.cfg.LatMul
+	}
+	in.State = StExecuting
+	in.DoneAt = c.cycle + uint64(lat)
+}
+
+// tryIssueLoad attempts to issue a load; it returns whether an issue slot
+// was consumed.
+func (c *Core) tryIssueLoad(ld *DynInst) bool {
+	if p := ld.Deps[0]; p != nil && p.State != StDone && p.State != StCommitted {
+		return false
+	}
+	if !ld.AddrValid {
+		ld.EffAddr = c.sb.EffAddr(ld.SrcVal(0), ld.In.Imm)
+		ld.AddrValid = true
+		last := c.sb.ByteAddr(ld.EffAddr, ld.In.Size-1)
+		l1, l2 := c.Hier.L1D.LineAddr(ld.EffAddr), c.Hier.L1D.LineAddr(last)
+		if l1 != l2 {
+			ld.IsSplit = true
+			ld.Line2 = l2
+		}
+	}
+
+	// Load/store queue search: forwarding, blocking, and Spectre-v4 bypass.
+	fwd, fwdVal, blocked := c.searchStoreQueue(ld)
+	if blocked {
+		return false
+	}
+
+	spec := c.UnderShadow(ld)
+	ld.SpecAtIssue = spec
+	act := c.def.LoadAction(ld, spec)
+	if act.Delay {
+		return false
+	}
+
+	tlbLat, tlbHit := c.Hier.TranslateData(c.cycle, ld.EffAddr, act.TLBInstall)
+	if !tlbHit {
+		c.stats.TLBMisses++
+		if act.TLBInstall {
+			c.Log.Add(c.cycle, ld.Seq, ld.PC, LogTLBFill, ld.EffAddr)
+		}
+	}
+
+	kind := LogLoad
+	if spec {
+		kind = LogSpecLd
+	}
+	c.Log.Add(c.cycle, ld.Seq, ld.PC, kind, ld.EffAddr)
+	if ld.IsSplit {
+		c.Log.Add(c.cycle, ld.Seq, ld.PC, LogSplit, c.Hier.L1D.LineAddr(ld.EffAddr))
+		c.Log.Add(c.cycle, ld.Seq, ld.PC, LogSplit, ld.Line2)
+	}
+	c.accessOrder = append(c.accessOrder, AccessRec{PC: ld.PC, Addr: ld.EffAddr})
+
+	if fwd {
+		ld.Forwarded = true
+		ld.LoadVal = fwdVal
+		ld.Result = fwdVal
+		ld.State = StExecuting
+		ld.DoneAt = c.cycle + uint64(1+tlbLat)
+		c.def.OnLoadExecuted(ld, mem.DataAccessResult{L1Hit: true, Latency: 1}, mem.DataAccessResult{})
+		return true
+	}
+
+	opts := mem.DataAccessOpts{
+		UpdateLRU:          act.UpdateLRU,
+		Sink:               act.Sink,
+		EvictOnMissFullSet: act.EvictOnMissFullSet,
+		NoMSHR:             act.NoMSHR,
+		Owner:              ld.Seq,
+	}
+	res1, res2 := c.accessLines(ld, opts)
+	lat := res1.Latency
+	if ld.IsSplit && res2.Latency > lat {
+		lat = res2.Latency
+	}
+	ld.LoadVal = c.img.Read(ld.EffAddr, ld.In.Size)
+	ld.Result = ld.LoadVal
+	ld.State = StExecuting
+	ld.DoneAt = c.cycle + uint64(tlbLat+lat)
+	c.def.OnLoadExecuted(ld, res1, res2)
+	return true
+}
+
+// searchStoreQueue scans older in-flight stores for the load. It returns a
+// forwarded value when the youngest older overlapping store fully covers
+// the load, blocks the load when a partial overlap or a must-wait
+// dependence prediction demands it, and otherwise lets the load bypass
+// (recording that it did, for memory-order violation checks).
+func (c *Core) searchStoreQueue(ld *DynInst) (fwd bool, val uint64, blocked bool) {
+	ldBytes := byteOffsets(c.sb, ld.EffAddr, ld.In.Size)
+	pos := -1
+	for i, in := range c.rob {
+		if in == ld {
+			pos = i
+			break
+		}
+	}
+	for i := pos - 1; i >= 0; i-- {
+		st := c.rob[i]
+		if !st.IsStore() || st.State == StCommitted {
+			continue
+		}
+		if !st.AddrValid {
+			if !c.MD.Bypass(ld.PC) {
+				return false, 0, true
+			}
+			ld.Bypassed = true
+			continue
+		}
+		stBytes := byteOffsets(c.sb, st.EffAddr, st.In.Size)
+		if !overlaps(stBytes, ldBytes) {
+			continue
+		}
+		dataReady := true
+		if p := st.Deps[1]; p != nil && p.State != StDone && p.State != StCommitted {
+			dataReady = false
+		}
+		if !dataReady || !covers(stBytes, ldBytes) {
+			// Partial overlap or data not ready: wait for the store.
+			return false, 0, true
+		}
+		ld.FwdFromSeq = st.Seq
+		return true, extractForward(stBytes, ldBytes, st.SrcVal(1)), false
+	}
+	return false, 0, false
+}
+
+// extractForward assembles the load value from the store's data bytes.
+func extractForward(stBytes, ldBytes []uint64, stVal uint64) uint64 {
+	idx := make(map[uint64]int, len(stBytes))
+	for j, off := range stBytes {
+		idx[off] = j
+	}
+	var v uint64
+	for k, off := range ldBytes {
+		j := idx[off]
+		v |= uint64(byte(stVal>>(8*j))) << (8 * k)
+	}
+	return v
+}
+
+// tryIssueStore advances a store through its two execute phases: address
+// resolution (with memory-order violation detection — the Spectre-v4
+// squash) and data readiness. It reports whether a squash rewrote the ROB.
+func (c *Core) tryIssueStore(st *DynInst, issued *int) (squashed bool) {
+	if !st.AddrValid {
+		if p := st.Deps[0]; p != nil && p.State != StDone && p.State != StCommitted {
+			return false
+		}
+		spec := c.UnderShadow(st)
+		st.SpecAtIssue = spec
+		act := c.def.StoreAction(st, spec)
+		if act.Delay {
+			return false
+		}
+		st.EffAddr = c.sb.EffAddr(st.SrcVal(0), st.In.Imm)
+		st.AddrValid = true
+		last := c.sb.ByteAddr(st.EffAddr, st.In.Size-1)
+		l1, l2 := c.Hier.L1D.LineAddr(st.EffAddr), c.Hier.L1D.LineAddr(last)
+		if l1 != l2 {
+			st.IsSplit = true
+			st.Line2 = l2
+		}
+		*issued++
+
+		if act.TLBAccess {
+			tlbLat, tlbHit := c.Hier.TranslateData(c.cycle, st.EffAddr, act.TLBInstall)
+			_ = tlbLat
+			if !tlbHit {
+				c.stats.TLBMisses++
+				if act.TLBInstall {
+					c.Log.Add(c.cycle, st.Seq, st.PC, LogTLBFill, st.EffAddr)
+				}
+			}
+		}
+		kind := LogStore
+		if spec {
+			kind = LogSpecSt
+		}
+		c.Log.Add(c.cycle, st.Seq, st.PC, kind, st.EffAddr)
+		if st.IsSplit {
+			c.Log.Add(c.cycle, st.Seq, st.PC, LogSplit, c.Hier.L1D.LineAddr(st.EffAddr))
+			c.Log.Add(c.cycle, st.Seq, st.PC, LogSplit, st.Line2)
+		}
+		c.accessOrder = append(c.accessOrder, AccessRec{PC: st.PC, Addr: st.EffAddr, Store: true})
+
+		if act.PrefetchLine {
+			opts := mem.DataAccessOpts{UpdateLRU: true, Sink: mem.SinkCache, Owner: st.Seq}
+			res1, res2 := c.accessLines(st, opts)
+			c.def.OnStoreExecuted(st, res1, res2)
+		} else {
+			c.def.OnStoreExecuted(st, mem.DataAccessResult{}, mem.DataAccessResult{})
+		}
+
+		if c.checkMemOrderViolation(st) {
+			return true
+		}
+	}
+	// Data phase.
+	if p := st.Deps[1]; p != nil && p.State != StDone && p.State != StCommitted {
+		return false
+	}
+	st.Result = st.SrcVal(1)
+	st.State = StExecuting
+	st.DoneAt = c.cycle + 1
+	return false
+}
+
+// checkMemOrderViolation looks for younger loads that already executed and
+// overlap the store whose address just resolved. Such loads consumed stale
+// data (the Spectre-v4 window); the pipeline squashes from the oldest
+// violating load and trains the dependence predictor.
+func (c *Core) checkMemOrderViolation(st *DynInst) bool {
+	stBytes := byteOffsets(c.sb, st.EffAddr, st.In.Size)
+	var victim *DynInst
+	for _, in := range c.rob {
+		if in.Seq <= st.Seq || !in.IsLoad() {
+			continue
+		}
+		if in.State != StExecuting && in.State != StDone {
+			continue
+		}
+		if in.Forwarded && in.FwdFromSeq > st.Seq {
+			continue // value came from a store younger than st: still correct
+		}
+		if !in.AddrValid {
+			continue
+		}
+		ldBytes := byteOffsets(c.sb, in.EffAddr, in.In.Size)
+		if overlaps(stBytes, ldBytes) {
+			victim = in
+			break // ROB is in program order: first match is the oldest
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.stats.MemOrderViolations++
+	c.MD.TrainViolation(victim.PC)
+	c.Log.Add(c.cycle, victim.Seq, victim.PC, LogMOV, victim.EffAddr)
+	c.squashYoungerThan(victim.Seq-1, victim.Idx)
+	return true
+}
+
+// --- fetch & dispatch ---
+
+func (c *Core) fetch() {
+	if c.fetchStallUntil > c.cycle {
+		return
+	}
+	if c.fence != nil {
+		return // serialized until the fence commits
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.fetchIdx >= c.prog.Len() {
+			c.fetchPhantom()
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			return
+		}
+		pc := isa.PCOf(c.fetchIdx)
+		line := c.Hier.L1I.LineAddr(pc)
+		if !c.haveILine || line != c.lastILine {
+			lat := c.Hier.AccessInst(c.cycle, pc)
+			c.lastILine = line
+			c.haveILine = true
+			if lat > c.cfg.Hier.LatL1 {
+				c.fetchStallUntil = c.cycle + uint64(lat)
+				return
+			}
+		}
+		c.dispatch(c.fetchIdx)
+		if c.fence != nil {
+			return
+		}
+	}
+}
+
+// fetchPhantom models the fetch unit running ahead of the program end while
+// the pipeline drains, speculatively pulling sequential lines into the
+// L1I cache. The number of phantom lines depends on how long the drain
+// takes, which is how timing differences become visible in the L1I-state
+// trace (InvisiSpec KV1, CleanupSpec's unXpec KV2).
+func (c *Core) fetchPhantom() {
+	if len(c.rob) == 0 {
+		return
+	}
+	if c.phantomPC == 0 {
+		c.phantomPC = c.Hier.L1I.LineAddr(isa.PCOf(c.prog.Len())) + uint64(c.cfg.Hier.L1I.LineSize)
+	}
+	lat := c.Hier.AccessInst(c.cycle, c.phantomPC)
+	c.phantomPC += uint64(c.cfg.Hier.L1I.LineSize)
+	c.fetchStallUntil = c.cycle + uint64(lat)
+}
+
+func (c *Core) dispatch(idx int) {
+	in := c.prog.Insts[idx]
+	c.seq++
+	d := &DynInst{Seq: c.seq, Idx: idx, In: in, PC: isa.PCOf(idx)}
+
+	readDep := func(slot int, r isa.Reg) {
+		if p := c.renameReg[r]; p != nil {
+			d.Deps[slot] = p
+		} else {
+			d.Vals[slot] = c.regs[r]
+		}
+	}
+	switch {
+	case in.Op == isa.OpMovImm:
+		d.WritesReg = true
+	case in.Op == isa.OpCmov:
+		readDep(0, in.Src1)
+		readDep(2, in.Dst)
+		d.WritesReg = true
+	case in.Op == isa.OpCmp:
+		readDep(0, in.Src1)
+		if !in.UseImm {
+			readDep(1, in.Src2)
+		}
+	case in.Op.IsALU():
+		readDep(0, in.Src1)
+		if !in.UseImm {
+			readDep(1, in.Src2)
+		}
+		d.WritesReg = true
+	case in.Op == isa.OpLoad:
+		readDep(0, in.Src1)
+		d.WritesReg = true
+	case in.Op == isa.OpStore:
+		readDep(0, in.Src1)
+		readDep(1, in.Src2)
+	}
+	if in.ReadsFlags() {
+		if c.renameFlags != nil {
+			d.FlagsDep = c.renameFlags
+		} else {
+			d.FlagsVal = c.flags
+		}
+	}
+	d.WritesFlags = in.Op.SetsFlags()
+
+	next := idx + 1
+	switch in.Op {
+	case isa.OpBranch:
+		pred, hist := c.BP.Predict(d.PC)
+		d.PredTaken = pred
+		d.HistAtPred = hist
+		if pred {
+			next = in.Target
+		}
+		c.branchOrder = append(c.branchOrder, BranchRec{PC: d.PC, PredTaken: pred, Target: isa.PCOf(in.Target)})
+	case isa.OpJmp:
+		next = in.Target
+		c.branchOrder = append(c.branchOrder, BranchRec{PC: d.PC, PredTaken: true, Target: isa.PCOf(in.Target)})
+	case isa.OpFence:
+		c.fence = d
+	}
+
+	if d.WritesReg {
+		c.renameReg[in.Dst] = d
+	}
+	if d.WritesFlags {
+		c.renameFlags = d
+	}
+	c.rob = append(c.rob, d)
+	c.stats.Fetched++
+	c.fetchIdx = next
+}

@@ -1,0 +1,169 @@
+package uarch
+
+import (
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// InstState is the lifecycle state of a dynamic instruction.
+type InstState uint8
+
+// Dynamic instruction states.
+const (
+	StDispatched InstState = iota // in the ROB, waiting for operands
+	StExecuting                   // issued, completes at DoneAt
+	StDone                        // result available
+	StCommitted                   // retired
+	StSquashed                    // killed by a squash
+)
+
+var instStateNames = [...]string{"dispatched", "executing", "done", "committed", "squashed"}
+
+// String returns the state name.
+func (s InstState) String() string {
+	if int(s) < len(instStateNames) {
+		return instStateNames[s]
+	}
+	return "invalid"
+}
+
+// DynInst is one in-flight dynamic instruction.
+type DynInst struct {
+	Seq uint64   // global fetch sequence number (1-based)
+	Idx int      // static program index
+	In  isa.Inst // decoded instruction
+	PC  uint64
+
+	State  InstState
+	DoneAt uint64 // completion cycle while Executing
+
+	// Dependencies. Deps[0] = Src1 producer, Deps[1] = Src2 producer,
+	// Deps[2] = old-Dst producer (CMOV). A nil producer means the value was
+	// captured from the committed register file at dispatch (in Vals).
+	Deps     [3]*DynInst
+	Vals     [3]uint64
+	FlagsDep *DynInst
+	FlagsVal isa.Flags
+
+	// Results.
+	Result      uint64
+	ResFlags    isa.Flags
+	WritesReg   bool
+	WritesFlags bool
+
+	// Memory state.
+	EffAddr    uint64 // virtual address (AddrValid)
+	AddrValid  bool
+	LoadVal    uint64
+	Forwarded  bool   // value forwarded from an older in-flight store
+	FwdFromSeq uint64 // sequence number of the forwarding store
+	IsSplit    bool   // access crosses a cache-line boundary
+	Line2      uint64 // second line address for split accesses
+	Bypassed   bool   // load bypassed at least one unknown-address store
+	FillIDs    []uint64
+
+	// Branch state.
+	PredTaken  bool
+	HistAtPred uint64
+	Taken      bool
+
+	// Speculation state.
+	SpecAtIssue bool // issued under an unresolved older branch (its shadow)
+	Tainted     bool // STT: result derived from speculatively accessed data
+}
+
+// IsLoad reports whether the instruction is a load.
+func (d *DynInst) IsLoad() bool { return d.In.Op == isa.OpLoad }
+
+// IsStore reports whether the instruction is a store.
+func (d *DynInst) IsStore() bool { return d.In.Op == isa.OpStore }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (d *DynInst) IsBranch() bool { return d.In.Op == isa.OpBranch }
+
+// SrcVal returns the resolved value of dependency slot i, reading the
+// producer's result when one exists.
+func (d *DynInst) SrcVal(i int) uint64 {
+	if p := d.Deps[i]; p != nil {
+		return p.Result
+	}
+	return d.Vals[i]
+}
+
+// Flags returns the resolved incoming flags value.
+func (d *DynInst) Flags() isa.Flags {
+	if d.FlagsDep != nil {
+		return d.FlagsDep.ResFlags
+	}
+	return d.FlagsVal
+}
+
+// DepsDone reports whether every register/flags dependency has produced its
+// result.
+func (d *DynInst) DepsDone() bool {
+	for _, p := range d.Deps {
+		if p != nil && p.State != StDone && p.State != StCommitted {
+			return false
+		}
+	}
+	if d.FlagsDep != nil && d.FlagsDep.State != StDone && d.FlagsDep.State != StCommitted {
+		return false
+	}
+	return true
+}
+
+// TaintedOperand reports whether any register dependency carries an STT
+// taint. Values captured from the committed register file are never
+// tainted.
+func (d *DynInst) TaintedOperand() bool {
+	for _, p := range d.Deps {
+		if p != nil && p.Tainted {
+			return true
+		}
+	}
+	return false
+}
+
+// AddrDepTainted reports whether the address operand (Src1) of a memory
+// instruction is tainted: the condition under which STT must block a
+// transmitter.
+func (d *DynInst) AddrDepTainted() bool {
+	p := d.Deps[0]
+	return p != nil && p.Tainted
+}
+
+// byteOffsets returns the wrapped sandbox offsets the access touches.
+func byteOffsets(sb isa.Sandbox, va uint64, size uint8) []uint64 {
+	out := make([]uint64, size)
+	for k := uint8(0); k < size; k++ {
+		out[k] = (sb.ByteAddr(va, k) - isa.DataBase) & sb.Mask()
+	}
+	return out
+}
+
+// overlaps reports whether two accesses share at least one byte.
+func overlaps(a, b []uint64) bool {
+	set := make(map[uint64]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// covers reports whether access a fully contains access b.
+func covers(a, b []uint64) bool {
+	set := make(map[uint64]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if !set[y] {
+			return false
+		}
+	}
+	return true
+}

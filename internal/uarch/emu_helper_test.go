@@ -1,0 +1,19 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/emu"
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// newEmu runs (prog, in) to completion on the functional emulator and
+// returns the machine for architectural-state comparison.
+func newEmu(t *testing.T, prog *isa.Program, sb isa.Sandbox, in *isa.Input) *emu.Machine {
+	t.Helper()
+	m := emu.New(prog, sb, in)
+	if err := m.Run(100000); err != nil {
+		t.Fatalf("emulator: %v", err)
+	}
+	return m
+}

@@ -1,0 +1,59 @@
+package uarch
+
+// MDP is the memory-dependence predictor. It starts optimistic — loads may
+// bypass older stores whose addresses are still unknown — which is exactly
+// the behaviour Spectre-v4 (speculative store bypass) exploits. A memory
+// order violation trains the predictor to make the offending load wait.
+type MDP struct {
+	wait map[uint64]uint8 // load PC -> saturating "must wait" counter
+}
+
+// NewMDP builds an empty predictor (all loads bypass).
+func NewMDP() *MDP { return &MDP{wait: make(map[uint64]uint8)} }
+
+// Reset clears the predictor (fresh micro-architectural context).
+func (m *MDP) Reset() {
+	for k := range m.wait {
+		delete(m.wait, k)
+	}
+}
+
+// Bypass reports whether the load at pc may bypass older unresolved stores.
+func (m *MDP) Bypass(pc uint64) bool { return m.wait[pc] == 0 }
+
+// TrainViolation records a memory-order violation by the load at pc.
+func (m *MDP) TrainViolation(pc uint64) { m.wait[pc] = 4 }
+
+// MDPState is an opaque copy of the predictor state.
+type MDPState struct {
+	wait map[uint64]uint8
+}
+
+// Save captures the predictor state.
+func (m *MDP) Save() *MDPState {
+	st := &MDPState{wait: make(map[uint64]uint8, len(m.wait))}
+	for k, v := range m.wait {
+		st.wait[k] = v
+	}
+	return st
+}
+
+// Restore rewinds the predictor to a saved state.
+func (m *MDP) Restore(st *MDPState) {
+	m.Reset()
+	for k, v := range st.wait {
+		m.wait[k] = v
+	}
+}
+
+// TrainCorrect decays the wait counter after the load at pc completed
+// without a violation, so stale dependencies eventually clear.
+func (m *MDP) TrainCorrect(pc uint64) {
+	if c := m.wait[pc]; c > 0 {
+		if c == 1 {
+			delete(m.wait, pc)
+		} else {
+			m.wait[pc] = c - 1
+		}
+	}
+}
