@@ -5,6 +5,7 @@
 // Usage:
 //
 //	amulet -defense speclfb -programs 200 -instances 4 -report
+//	amulet -defense stt -workers 8 -timeout 5m
 //	amulet -experiment table4
 //	amulet -experiment table6 -scale paper
 //	amulet -list
@@ -12,16 +13,27 @@
 // Without -experiment, amulet runs one campaign against the selected
 // defense and prints a summary (and, with -report, the analyzed violation
 // reports in the style of the paper's figures).
+//
+// Campaigns are scheduled by the program-level engine: -workers sets the
+// worker-pool size (0 = all cores) and -timeout bounds the run. SIGINT,
+// SIGTERM, -timeout or a failing work unit never discard a campaign: the
+// partial results collected so far are always reported (experiments, whose
+// tables need the full campaign, abort instead).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/sith-lab/amulet-go/internal/analysis"
 	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/engine"
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/experiments"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
@@ -47,8 +59,18 @@ func main() {
 		experiment = flag.String("experiment", "", "regenerate a paper table: table2, table3, table4, table5, table6, table8, table11, figures; or 'compare' for the extended defense comparison")
 		scaleName  = flag.String("scale", "quick", "experiment scale: quick or paper")
 		list       = flag.Bool("list", false, "list available defenses and exit")
+		workers    = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS); the violation set is identical for every value")
+		timeout    = flag.Duration("timeout", 0, "abort the campaign/experiment after this duration, reporting partial results (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		fmt.Println("available defense configurations:")
@@ -60,7 +82,7 @@ func main() {
 	}
 
 	if *experiment != "" {
-		if err := runExperiment(*experiment, *scaleName); err != nil {
+		if err := runExperiment(ctx, *experiment, *scaleName, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -110,9 +132,16 @@ func main() {
 	fmt.Printf("testing %s against %s: %d instance(s) x %d program(s) x %d input(s)\n",
 		spec.Name, ccfg.Base.Contract.Name, ccfg.Instances, ccfg.Base.Programs,
 		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput))
-	res, err := fuzzer.RunCampaign(ccfg)
+	res, err := engine.RunCampaign(ctx, engine.Config{Campaign: ccfg, Workers: *workers})
 	if err != nil {
-		fatal(err)
+		if res == nil {
+			fatal(err)
+		}
+		// Cancellation and unit failures alike: report what was collected.
+		fmt.Printf("campaign incomplete (%v); partial results:\n", err)
+		if hasNonContextError(err) {
+			defer os.Exit(1) // real failure: partial output, failing exit code
+		}
 	}
 	printSummary(res)
 
@@ -155,7 +184,7 @@ func printSummary(res *fuzzer.CampaignResult) {
 	}
 }
 
-func runExperiment(name, scaleName string) error {
+func runExperiment(ctx context.Context, name, scaleName string, workers int) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "quick":
@@ -165,46 +194,47 @@ func runExperiment(name, scaleName string) error {
 	default:
 		return fmt.Errorf("unknown scale %q (quick or paper)", scaleName)
 	}
+	scale.Workers = workers
 	switch name {
 	case "table2":
-		t, err := experiments.Table2(scale)
+		t, err := experiments.Table2(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Println(t)
 	case "table3":
-		t, err := experiments.Table3(scale)
+		t, err := experiments.Table3(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Println(t)
 	case "table4":
-		r, err := experiments.Table4(scale)
+		r, err := experiments.Table4(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Table)
 	case "figures":
-		r, err := experiments.Table4(scale)
+		r, err := experiments.Table4(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Table)
 		fmt.Println(experiments.FigureReports(r))
 	case "table5":
-		t, err := experiments.Table5(scale)
+		t, err := experiments.Table5(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Println(t)
 	case "table6":
-		t, err := experiments.Table6(scale)
+		t, err := experiments.Table6(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Println(t)
 	case "table8":
-		t, err := experiments.Table8(scale)
+		t, err := experiments.Table8(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -216,7 +246,7 @@ func runExperiment(name, scaleName string) error {
 		}
 		fmt.Println(t)
 	case "compare":
-		t, err := experiments.DefenseComparison(scale)
+		t, err := experiments.DefenseComparison(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -241,6 +271,24 @@ func parseFormat(s string) (executor.TraceFormat, error) {
 		return executor.FormatBranchOrder, nil
 	}
 	return 0, fmt.Errorf("unknown trace format %q", s)
+}
+
+// hasNonContextError reports whether the (possibly joined) error contains
+// anything beyond cancellation/deadline — i.e. a failure the exit code
+// must reflect even when a timeout fired alongside it.
+func hasNonContextError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			if hasNonContextError(e) {
+				return true
+			}
+		}
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 func fatal(err error) {

@@ -25,5 +25,5 @@
 //   - examples/: runnable walkthroughs of the paper's case studies
 //   - bench_test.go: one benchmark per evaluation table/figure
 //
-// See README.md, DESIGN.md and EXPERIMENTS.md.
+// See README.md.
 package amulet

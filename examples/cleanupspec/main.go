@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func classify(defense string, programs int) map[analysis.Signature]int {
 	scale.Instances = 3
 	scale.Programs = programs
 	ccfg := experiments.CampaignConfig(spec, scale)
-	res, err := fuzzer.RunCampaign(ccfg)
+	res, err := fuzzer.RunCampaign(context.Background(), ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}

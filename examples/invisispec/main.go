@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func campaign(name string, patched bool, ways, mshrs int, programs int, seed int
 	ccfg.Base.Exec.Core.Hier.MSHRs = mshrs
 	ccfg.Base.StopOnFirstViolation = true
 
-	res, err := fuzzer.RunCampaign(ccfg)
+	res, err := fuzzer.RunCampaign(context.Background(), ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

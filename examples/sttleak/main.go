@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func run(defense string, seed int64) {
 	ccfg := experiments.CampaignConfig(spec, scale)
 	ccfg.Base.StopOnFirstViolation = true
 
-	res, err := fuzzer.RunCampaign(ccfg)
+	res, err := fuzzer.RunCampaign(context.Background(), ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 		scale.Programs = 80
 		ccfg := experiments.CampaignConfig(spec, scale)
 		ccfg.Base.Exec.Format = f
-		res, err := fuzzer.RunCampaign(ccfg)
+		res, err := fuzzer.RunCampaign(context.Background(), ccfg)
 		if err != nil {
 			log.Fatal(err)
 		}

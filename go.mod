@@ -1,0 +1,3 @@
+module github.com/sith-lab/amulet-go
+
+go 1.24

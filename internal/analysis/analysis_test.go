@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -24,7 +26,7 @@ func findViolation(t *testing.T, cfg fuzzer.Config) (*fuzzer.Fuzzer, *fuzzer.Vio
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,263 @@
+// Package engine is the campaign scheduler: it decomposes a fuzzing
+// campaign into program-level work units (generate → contract-model
+// collect → µarch execute → compare → validate) and runs them on a
+// work-stealing worker pool, each worker owning a pooled executor whose
+// simulated core — and post-boot checkpoint — is reused across programs.
+//
+// The coarse per-instance layout (fuzzer.RunCampaign) parallelizes at
+// instance granularity, so a campaign of few instances cannot use many
+// cores and a slow instance straggles the whole run. The engine schedules
+// the ~Instances×Programs individual programs instead: workers drain their
+// own queues front-first and steal from the back of others' queues when
+// empty, so load imbalance (programs vary widely in simulation cost)
+// evens out automatically.
+//
+// Determinism is a hard requirement: an identical seed yields an identical
+// violation set regardless of worker count. Three properties deliver it:
+// every work unit draws from its own RNG streams derived from the campaign
+// seed (fuzzer.UnitSeed); µarch execution of one program always starts
+// from the same post-boot context (the pooled executors' checkpoint
+// restores exactly the state a fresh start builds); and results are
+// aggregated in (instance, program-index) order no matter the order in
+// which workers finished them.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/fuzzer"
+)
+
+// Config configures an engine-scheduled campaign.
+type Config struct {
+	// Campaign is the campaign shape: Base config plus the instance count.
+	// Base.Seed seeds the whole campaign; MaxParallel is ignored (Workers
+	// bounds parallelism here).
+	Campaign fuzzer.CampaignConfig
+	// Workers sets the worker-pool size (and thus the executor-pool size);
+	// zero uses GOMAXPROCS. The violation set is identical for every
+	// value; counters and timings (TestCases, Metrics, Elapsed) are not,
+	// since cancellation and stop-on-first races decide how much extra
+	// work runs.
+	Workers int
+}
+
+// unit is one program-level work unit.
+type unit struct {
+	inst, prog int
+	seed       int64
+}
+
+// deque is one worker's unit queue. The owner pops from the front; idle
+// workers steal from the back, which moves whole chunks of untouched work
+// away from busy workers with minimal contention.
+type deque struct {
+	mu    sync.Mutex
+	units []unit
+}
+
+func (d *deque) popFront() (unit, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.units) == 0 {
+		return unit{}, false
+	}
+	u := d.units[0]
+	d.units = d.units[1:]
+	return u, true
+}
+
+func (d *deque) stealBack() (unit, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.units) == 0 {
+		return unit{}, false
+	}
+	u := d.units[len(d.units)-1]
+	d.units = d.units[:len(d.units)-1]
+	return u, true
+}
+
+// RunCampaign executes the campaign on the engine. A context error stops
+// all workers between test cases; whatever completed is aggregated and
+// returned alongside the context's error. Unit failures likewise don't
+// discard the campaign: errors are joined and partial results returned.
+func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error) {
+	if cfg.Campaign.Instances < 1 {
+		return nil, fmt.Errorf("engine: campaign needs at least one instance")
+	}
+	base := cfg.Campaign.Base
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	instances, programs := cfg.Campaign.Instances, base.Programs
+	nUnits := instances * programs
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nUnits {
+		workers = nUnits
+	}
+
+	// Deal units round-robin over the worker deques, in (instance,
+	// program) order, so every worker starts with a spread of instances
+	// and early steals are rare.
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	k := 0
+	for i := 0; i < instances; i++ {
+		instSeed := fuzzer.InstanceSeed(base.Seed, i)
+		for p := 0; p < programs; p++ {
+			d := deques[k%workers]
+			d.units = append(d.units, unit{inst: i, prog: p, seed: fuzzer.UnitSeed(instSeed, p)})
+			k++
+		}
+	}
+
+	// stopAt[i] is the lowest program index of instance i known to hold a
+	// confirmed violation; under StopOnFirstViolation, units beyond it are
+	// skipped. Aggregation re-derives the deterministic cut below, so the
+	// racy skip is purely a work-avoidance optimization.
+	stopAt := make([]atomic.Int64, instances)
+	for i := range stopAt {
+		stopAt[i].Store(math.MaxInt64)
+	}
+
+	pool := executor.NewPool(base.Exec, base.DefenseFactory, workers)
+	results := make([][]*fuzzer.Result, instances)
+	for i := range results {
+		results[i] = make([]*fuzzer.Result, programs)
+	}
+	errCh := make(chan error, workers)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errCh <- runWorker(ctx, w, base, deques, pool, stopAt, results, start)
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	out := &fuzzer.CampaignResult{Instances: make([]*fuzzer.Result, instances)}
+	for i := 0; i < instances; i++ {
+		out.Instances[i] = mergeInstance(results[i], base.StopOnFirstViolation)
+	}
+	out.Elapsed = time.Since(start)
+	out.Aggregate()
+	return out, errors.Join(append(errs, ctx.Err())...)
+}
+
+// runWorker drains its own deque and then steals until no work is left.
+// It owns one pooled executor for its whole lifetime.
+func runWorker(ctx context.Context, w int, base fuzzer.Config, deques []*deque, pool *executor.Pool, stopAt []atomic.Int64, results [][]*fuzzer.Result, start time.Time) error {
+	exec, err := pool.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer pool.Release(exec)
+	var errs []error
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		u, ok := deques[w].popFront()
+		for v := 1; !ok && v < len(deques); v++ {
+			u, ok = deques[(w+v)%len(deques)].stealBack()
+		}
+		if !ok {
+			break
+		}
+		if int64(u.prog) > stopAt[u.inst].Load() {
+			continue
+		}
+		res, err := runUnit(ctx, base, exec, u, start)
+		results[u.inst][u.prog] = res
+		if err != nil {
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				break // reported once by RunCampaign
+			}
+			errs = append(errs, fmt.Errorf("engine: instance %d program %d: %w", u.inst, u.prog, err))
+			continue
+		}
+		if base.StopOnFirstViolation && len(res.Violations) > 0 {
+			for {
+				cur := stopAt[u.inst].Load()
+				if int64(u.prog) >= cur || stopAt[u.inst].CompareAndSwap(cur, int64(u.prog)) {
+					break
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runUnit runs the full stage pipeline of one work unit on the worker's
+// executor, returning the unit-local result (metrics attributed by
+// snapshot diff, since the executor is shared across this worker's units).
+func runUnit(ctx context.Context, base fuzzer.Config, exec *executor.Executor, u unit, start time.Time) (*fuzzer.Result, error) {
+	t0 := time.Now()
+	before := exec.Metrics()
+	res := &fuzzer.Result{}
+	ug, err := fuzzer.NewUnitGen(base, u.seed)
+	if err == nil {
+		var pc *fuzzer.ProgramCase
+		if pc, err = ug.Case(ctx, u.prog); err == nil {
+			_, err = fuzzer.ExecuteCase(ctx, exec, base, pc, res, start)
+		}
+	}
+	res.Elapsed = time.Since(t0)
+	res.Metrics = exec.Metrics().Minus(before)
+	return res, err
+}
+
+// mergeInstance folds one instance's unit results in program-index order.
+// Under StopOnFirstViolation the deterministic cut is the lowest violating
+// program index: units past it may or may not have run (the stop signal
+// races with the workers), so their violations are dropped — only their
+// counters are kept — making the violation set independent of scheduling.
+func mergeInstance(units []*fuzzer.Result, stopFirst bool) *fuzzer.Result {
+	ir := &fuzzer.Result{}
+	firstViol := -1
+	if stopFirst {
+		for p, ur := range units {
+			if ur != nil && len(ur.Violations) > 0 {
+				firstViol = p
+				break
+			}
+		}
+	}
+	for p, ur := range units {
+		if ur == nil {
+			continue
+		}
+		if firstViol >= 0 && p > firstViol {
+			trimmed := *ur
+			trimmed.Violations = nil
+			ir.Merge(&trimmed)
+			continue
+		}
+		ir.Merge(ur)
+	}
+	return ir
+}

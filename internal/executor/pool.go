@@ -1,0 +1,96 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// Pool hands out long-lived executors to campaign workers. Executors are
+// created lazily up to the pool size, each with its own defense instance
+// and the boot checkpoint enabled, so the boot workload is paid once per
+// worker instead of once per test program (or once per instance, as the
+// coarse per-instance campaign layout does).
+type Pool struct {
+	cfg     Config
+	factory func() uarch.Defense
+
+	free chan *Executor
+
+	mu      sync.Mutex
+	created []*Executor
+	size    int
+}
+
+// NewPool builds a pool of up to size executors. It panics on a
+// non-positive size or nil factory (campaign entry points validate).
+func NewPool(cfg Config, factory func() uarch.Defense, size int) *Pool {
+	if size < 1 {
+		panic(fmt.Sprintf("executor: pool size must be >= 1, got %d", size))
+	}
+	if factory == nil {
+		panic("executor: pool needs a defense factory")
+	}
+	return &Pool{
+		cfg:     cfg,
+		factory: factory,
+		free:    make(chan *Executor, size),
+		size:    size,
+	}
+}
+
+// Size returns the maximum number of executors the pool will create.
+func (p *Pool) Size() int { return p.size }
+
+// Acquire returns a free executor, creating one if the pool is not yet at
+// capacity, or blocks until one is released or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) (*Executor, error) {
+	select {
+	case e := <-p.free:
+		return e, nil
+	default:
+	}
+	p.mu.Lock()
+	if len(p.created) < p.size {
+		e := New(p.cfg, p.factory())
+		e.EnableBootCheckpoint()
+		p.created = append(p.created, e)
+		p.mu.Unlock()
+		return e, nil
+	}
+	p.mu.Unlock()
+	select {
+	case e := <-p.free:
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns an executor to the pool. The executor keeps its boot
+// checkpoint and metrics; the next LoadProgram gives the next borrower a
+// fresh post-boot context.
+func (p *Pool) Release(e *Executor) {
+	if e == nil {
+		return
+	}
+	select {
+	case p.free <- e:
+	default:
+		panic("executor: Release without matching Acquire")
+	}
+}
+
+// Metrics sums the accumulated metrics of every executor the pool created.
+// Call it only while no borrower is running (e.g. after a campaign).
+func (p *Pool) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var m Metrics
+	for _, e := range p.created {
+		m.Add(e.Metrics())
+	}
+	return m
+}

@@ -1,0 +1,153 @@
+package executor
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+func poolConfig() Config {
+	return Config{
+		Core:      uarch.DefaultConfig(),
+		Format:    FormatL1DTLB,
+		Prime:     PrimeFill,
+		Strategy:  StrategyOpt,
+		BootInsts: 500,
+	}
+}
+
+func nopFactory() uarch.Defense { return uarch.NopDefense{} }
+
+func TestPoolAcquireRelease(t *testing.T) {
+	p := NewPool(poolConfig(), nopFactory, 2)
+	ctx := context.Background()
+	a, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same executor twice")
+	}
+	// Pool exhausted: Acquire must block until a release or ctx death.
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(short); err == nil {
+		t.Fatal("Acquire on an exhausted pool returned without a release")
+	}
+	p.Release(a)
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("expected the released executor back")
+	}
+	p.Release(b)
+	p.Release(c)
+	if got := p.Metrics().BootRuns; got != 0 {
+		t.Errorf("idle pool executors booted %d times", got)
+	}
+}
+
+// TestBootCheckpointEquivalence is the correctness half of the pooling
+// optimization: a checkpointed executor must produce exactly the traces a
+// fresh executor produces, while simulating the boot workload only once
+// across programs.
+func TestBootCheckpointEquivalence(t *testing.T) {
+	gcfg := generator.DefaultConfig()
+	gcfg.Seed = 11
+	g := generator.New(gcfg)
+	sb := g.Sandbox()
+
+	type testCase struct {
+		prog   *isa.Program
+		inputs []*isa.Input
+	}
+	var cases []testCase
+	for p := 0; p < 5; p++ {
+		tc := testCase{prog: g.Program()}
+		for i := 0; i < 6; i++ {
+			tc.inputs = append(tc.inputs, g.Input())
+		}
+		cases = append(cases, tc)
+	}
+
+	run := func(e *Executor) []*UTrace {
+		var traces []*UTrace
+		for _, tc := range cases {
+			if err := e.LoadProgram(tc.prog, sb); err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range tc.inputs {
+				tr, err := e.Run(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				traces = append(traces, tr)
+			}
+		}
+		return traces
+	}
+
+	fresh := New(poolConfig(), nopFactory())
+	pooled := New(poolConfig(), nopFactory())
+	pooled.EnableBootCheckpoint()
+
+	want := run(fresh)
+	got := run(pooled)
+	if len(want) != len(got) {
+		t.Fatalf("trace counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("trace %d differs between fresh and checkpointed executors:\n%s",
+				i, want[i].Diff(got[i]))
+		}
+	}
+	if fresh.Metrics().BootRuns != len(cases) {
+		t.Errorf("fresh executor boots = %d, want one per program (%d)",
+			fresh.Metrics().BootRuns, len(cases))
+	}
+	if pooled.Metrics().BootRuns != 1 {
+		t.Errorf("checkpointed executor boots = %d, want 1", pooled.Metrics().BootRuns)
+	}
+	if fresh.Metrics().Starts != pooled.Metrics().Starts {
+		t.Errorf("start counts diverge: %d vs %d", fresh.Metrics().Starts, pooled.Metrics().Starts)
+	}
+}
+
+// TestBootCheckpointSkippedForNaive pins the Naive semantics: Naive models
+// a fresh simulator process per input, so a pooled (checkpoint-enabled)
+// executor must still simulate the boot workload on every start — that
+// per-input cost is what the Naive columns of Tables 2 and 3 measure.
+func TestBootCheckpointSkippedForNaive(t *testing.T) {
+	cfg := poolConfig()
+	cfg.Strategy = StrategyNaive
+	e := New(cfg, nopFactory())
+	e.EnableBootCheckpoint()
+
+	gcfg := generator.DefaultConfig()
+	gcfg.Seed = 7
+	g := generator.New(gcfg)
+	if err := e.LoadProgram(g.Program(), g.Sandbox()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(g.Input()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.Metrics()
+	if m.BootRuns != m.Starts || m.BootRuns != 3 {
+		t.Errorf("Naive with checkpoint: boots=%d starts=%d, want 3 boots (one per input)",
+			m.BootRuns, m.Starts)
+	}
+}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -27,6 +28,7 @@ import (
 	"github.com/sith-lab/amulet-go/internal/defense/invisispec"
 	"github.com/sith-lab/amulet-go/internal/defense/speclfb"
 	"github.com/sith-lab/amulet-go/internal/defense/stt"
+	"github.com/sith-lab/amulet-go/internal/engine"
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/generator"
@@ -41,6 +43,7 @@ type Scale struct {
 	Mutants    int // contract-preserving mutants per base input
 	BootInsts  int // simulated SE-mode startup workload length
 	Seed       int64
+	Workers    int // engine worker-pool size; 0 = GOMAXPROCS
 }
 
 // QuickScale returns a laptop-scale budget (seconds per campaign). The
@@ -167,6 +170,15 @@ func CampaignConfig(spec DefenseSpec, scale Scale) fuzzer.CampaignConfig {
 			MutantsPerInput: scale.Mutants,
 		},
 	}
+}
+
+// RunCampaign drives one campaign through the engine scheduler: the
+// campaign is decomposed into program-level work units executed on a
+// work-stealing worker pool with pooled (boot-checkpointed) executors.
+// workers=0 uses GOMAXPROCS; the violation set is identical for every
+// worker count. Every TableN experiment routes its campaigns through here.
+func RunCampaign(ctx context.Context, ccfg fuzzer.CampaignConfig, workers int) (*fuzzer.CampaignResult, error) {
+	return engine.RunCampaign(ctx, engine.Config{Campaign: ccfg, Workers: workers})
 }
 
 // Table is a rendered experiment result.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -66,7 +67,7 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment")
 	}
-	tb, err := Table2(tinyScale())
+	tb, err := Table2(context.Background(), tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,16 +83,16 @@ func TestTable6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment")
 	}
-	// Seed 3 is a known seed whose first instance hits the UV2 interference
+	// Seed 4 is a known seed whose campaign hits the UV2 interference
 	// pattern within 200 programs; random seeds need the paper-scale budget
 	// (UV2 appears roughly once per ~20k test cases at this configuration).
 	sc := tinyScale()
-	sc.Seed = 3
+	sc.Seed = 4
 	sc.Instances = 2
 	sc.Programs = 200
 	sc.BaseInputs = 8
 	sc.Mutants = 5
-	tb, err := Table6(sc)
+	tb, err := Table6(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestTable8Shape(t *testing.T) {
 	}
 	sc := tinyScale()
 	sc.Instances = 2
-	tb, err := Table8(sc)
+	tb, err := Table8(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

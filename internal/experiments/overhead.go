@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sith-lab/amulet-go/internal/executor"
-	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/generator"
 	"github.com/sith-lab/amulet-go/internal/isa"
 )
@@ -16,7 +16,7 @@ import (
 // proxy — average simulated cycles per test case, normalized to the
 // insecure baseline. The paper evaluates security only; this table adds
 // the cost axis designers trade against it.
-func DefenseComparison(scale Scale) (*Table, error) {
+func DefenseComparison(ctx context.Context, scale Scale) (*Table, error) {
 	// Performance workload: a fixed set of generated programs and inputs,
 	// identical for every defense.
 	gcfg := generator.DefaultConfig()
@@ -37,6 +37,9 @@ func DefenseComparison(scale Scale) (*Table, error) {
 	}
 
 	measure := func(spec DefenseSpec) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		cfg := CampaignConfig(spec, scale).Base.Exec
 		cfg.Prime = executor.PrimeInvalidate // identical reset for fairness
 		exec := executor.New(cfg, spec.Factory())
@@ -80,7 +83,7 @@ func DefenseComparison(scale Scale) (*Table, error) {
 		sc.Instances = 2
 		ccfg := CampaignConfig(spec, sc)
 		ccfg.Base.StopOnFirstViolation = true
-		res, err := fuzzer.RunCampaign(ccfg)
+		res, err := RunCampaign(ctx, ccfg, scale.Workers)
 		if err != nil {
 			return nil, err
 		}

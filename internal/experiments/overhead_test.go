@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestDefenseComparisonShape(t *testing.T) {
 	if testing.Short() {
@@ -8,7 +11,7 @@ func TestDefenseComparisonShape(t *testing.T) {
 	}
 	sc := tinyScale()
 	sc.Programs = 60
-	tb, err := DefenseComparison(sc)
+	tb, err := DefenseComparison(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"github.com/sith-lab/amulet-go/internal/executor"
@@ -12,7 +13,7 @@ import (
 // µarch-trace extraction strategies on the baseline CPU. The paper's shape:
 // startup dominates Naive (~96%), simulation dominates Opt (~89%), and Opt
 // is an order of magnitude faster per program.
-func Table2(scale Scale) (*Table, error) {
+func Table2(ctx context.Context, scale Scale) (*Table, error) {
 	type breakdown struct {
 		startup, simulate, trace, gen, model, total time.Duration
 		perProgram                                  time.Duration
@@ -34,7 +35,7 @@ func Table2(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := f.Run()
+		res, err := f.Run(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sith-lab/amulet-go/internal/contract"
@@ -14,7 +15,7 @@ import (
 // violations (priming + predictor carryover) and detects them much
 // earlier; CT-COND (Spectre-v4) violations are orders of magnitude rarer
 // than CT-SEQ (Spectre-v1) ones.
-func Table3(scale Scale) (*Table, error) {
+func Table3(ctx context.Context, scale Scale) (*Table, error) {
 	type cell struct {
 		res *fuzzer.CampaignResult
 	}
@@ -35,7 +36,7 @@ func Table3(scale Scale) (*Table, error) {
 				ccfg.Base.Programs = 2
 			}
 		}
-		res, err := fuzzer.RunCampaign(ccfg)
+		res, err := RunCampaign(ctx, ccfg, scale.Workers)
 		if err != nil {
 			return nil, err
 		}

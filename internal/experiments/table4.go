@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/sith-lab/amulet-go/internal/analysis"
 	"github.com/sith-lab/amulet-go/internal/executor"
@@ -19,11 +23,14 @@ type Table4Result struct {
 
 // Table4 reproduces the paper's Table 4: the headline campaign over the
 // baseline and the four countermeasures with their matching contracts.
+// The five defense campaigns run concurrently, each on its own engine
+// worker pool (the cores split between them), the way the paper runs its
+// per-defense campaigns side by side on one server.
 // Expected shape: every target violates its contract; CleanupSpec and
 // SpecLFB campaigns are the fastest (clean-cache reset), InvisiSpec is
 // slower (conflict-fill priming), and STT is the slowest by far (128-page
 // sandbox, taint machinery) with the longest detection time.
-func Table4(scale Scale) (*Table4Result, error) {
+func Table4(ctx context.Context, scale Scale) (*Table4Result, error) {
 	out := &Table4Result{
 		Table: &Table{
 			Title: "Table 4: testing campaigns per defense",
@@ -32,32 +39,72 @@ func Table4(scale Scale) (*Table4Result, error) {
 		},
 		Reports: map[string]*analysis.Report{},
 	}
-	for _, spec := range EvaluatedDefenses() {
-		ccfg := CampaignConfig(spec, scale)
-		res, err := fuzzer.RunCampaign(ccfg)
-		if err != nil {
-			return nil, err
+	specs := EvaluatedDefenses()
+	total := scale.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	// Split the worker budget across the concurrent campaigns, handing the
+	// remainder cores to the later (slower) specs — STT, last in the
+	// paper's order, is the straggler by far.
+	workersFor := func(si int) int {
+		w := total / len(specs)
+		if rem := total % len(specs); si >= len(specs)-rem {
+			w++
 		}
-		unique, firstReport, err := classifyViolations(spec, scale, res)
-		if err != nil {
-			return nil, err
+		if w < 1 {
+			w = 1
 		}
-		if firstReport != nil {
-			out.Reports[spec.Name] = firstReport
+		return w
+	}
+	type outcome struct {
+		res    *fuzzer.CampaignResult
+		unique int
+		report *analysis.Report
+		err    error
+	}
+	outcomes := make([]outcome, len(specs))
+	var wg sync.WaitGroup
+	for si, spec := range specs {
+		wg.Add(1)
+		go func(si int, spec DefenseSpec) {
+			defer wg.Done()
+			o := &outcomes[si]
+			ccfg := CampaignConfig(spec, scale)
+			o.res, o.err = RunCampaign(ctx, ccfg, workersFor(si))
+			if o.err != nil {
+				return
+			}
+			o.unique, o.report, o.err = classifyViolations(spec, scale, o.res)
+		}(si, spec)
+	}
+	wg.Wait()
+	var errs []error
+	for si, spec := range specs {
+		o := outcomes[si]
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", spec.Name, o.err))
+			continue
+		}
+		if o.report != nil {
+			out.Reports[spec.Name] = o.report
 		}
 		detected := "NO"
-		if res.DetectedViolation() {
+		if o.res.DetectedViolation() {
 			detected = "YES"
 		}
 		out.Table.Rows = append(out.Table.Rows, []string{
 			spec.Name,
 			spec.Contract.Name,
 			detected,
-			detTime(res),
-			fmt.Sprintf("%d", unique),
-			fmt.Sprintf("%.0f", res.Throughput()),
-			fmtDuration(res.Elapsed),
+			detTime(o.res),
+			fmt.Sprintf("%d", o.unique),
+			fmt.Sprintf("%.0f", o.res.Throughput()),
+			fmtDuration(o.res.Elapsed),
 		})
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	out.Table.Notes = append(out.Table.Notes,
 		"paper shape: every defense violates its contract; CleanupSpec/SpecLFB fastest, STT slowest")

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sith-lab/amulet-go/internal/executor"
-	"github.com/sith-lab/amulet-go/internal/fuzzer"
 )
 
 // Table5 reproduces the paper's Table 5: testing the baseline CPU with the
@@ -16,7 +16,7 @@ import (
 // violations at the highest throughput; memory-access order catches the
 // most but is slower; BP-state and branch-order formats catch few and are
 // largely subsumed by the baseline format.
-func Table5(scale Scale) (*Table, error) {
+func Table5(ctx context.Context, scale Scale) (*Table, error) {
 	formats := []executor.TraceFormat{
 		executor.FormatL1DTLB,
 		executor.FormatBPState,
@@ -37,7 +37,7 @@ func Table5(scale Scale) (*Table, error) {
 	for _, f := range formats {
 		ccfg := CampaignConfig(spec, scale)
 		ccfg.Base.Exec.Format = f
-		res, err := fuzzer.RunCampaign(ccfg)
+		res, err := RunCampaign(ctx, ccfg, scale.Workers)
 		if err != nil {
 			return nil, err
 		}

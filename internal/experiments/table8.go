@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/sith-lab/amulet-go/internal/analysis"
 	"github.com/sith-lab/amulet-go/internal/executor"
-	"github.com/sith-lab/amulet-go/internal/fuzzer"
 )
 
 // Table8 reproduces the paper's Table 8: the types of CleanupSpec
@@ -11,7 +12,7 @@ import (
 // the speculative-store cleanup fix (Patched). Expected shape: the
 // spec-store leak (UV3) disappears with the patch; split requests (UV4)
 // and too-much-cleaning (UV5) remain.
-func Table8(scale Scale) (*Table, error) {
+func Table8(ctx context.Context, scale Scale) (*Table, error) {
 	classify := func(specName string) (map[analysis.Signature]int, error) {
 		spec, err := DefenseByName(specName)
 		if err != nil {
@@ -23,7 +24,7 @@ func Table8(scale Scale) (*Table, error) {
 		// deterministically.
 		sc := scale
 		if sc.Instances*sc.Programs < 10000 {
-			sc.Seed = 3
+			sc.Seed = 4
 			sc.BaseInputs = 8
 			sc.Mutants = 5
 			if sc.Programs < 150 {
@@ -31,7 +32,7 @@ func Table8(scale Scale) (*Table, error) {
 			}
 		}
 		ccfg := CampaignConfig(spec, sc)
-		res, err := fuzzer.RunCampaign(ccfg)
+		res, err := RunCampaign(ctx, ccfg, scale.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package fuzzer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,8 +19,42 @@ type CampaignConfig struct {
 	MaxParallel int
 }
 
+// seedGamma is the 64-bit golden-ratio constant ⌊2^64/φ⌋ (splitmix64's
+// increment): successive multiples are maximally spread over the 64-bit
+// space, so derived seeds never cluster.
+const seedGamma = 0x9E3779B97F4A7C15
+
+// InstanceSeed derives the i-th instance seed from the campaign seed.
+func InstanceSeed(campaign int64, i int) int64 {
+	return int64(uint64(campaign) + uint64(i)*seedGamma)
+}
+
+// mix64 is splitmix64's output finalizer (a bijective avalanche).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// UnitSeed derives the RNG seed of the program-level work unit (instSeed,
+// p). Every program of every instance gets an independent, well-spread
+// stream, which is what lets the engine schedule units in any order
+// deterministically. The instance seed is finalized before the program
+// offset is added: InstanceSeed values are exact multiples of seedGamma
+// apart, so offsetting them by p*seedGamma directly would alias unit
+// (i, p) with unit (i+1, p-1) and make instances replicas of each other.
+func UnitSeed(instSeed int64, p int) int64 {
+	x := mix64(uint64(instSeed)) + uint64(p+1)*seedGamma
+	return int64(mix64(x))
+}
+
 // CampaignResult aggregates instance results.
 type CampaignResult struct {
+	// Instances is indexed by instance number. Entries are nil only when
+	// the campaign returned an error and that instance produced nothing.
 	Instances  []*Result
 	Violations []*Violation
 	TestCases  int
@@ -42,6 +78,9 @@ func (c *CampaignResult) AvgDetectionTime() (time.Duration, bool) {
 	var sum time.Duration
 	n := 0
 	for _, r := range c.Instances {
+		if r == nil {
+			continue
+		}
 		if d, ok := r.FirstDetection(); ok {
 			sum += d
 			n++
@@ -53,8 +92,29 @@ func (c *CampaignResult) AvgDetectionTime() (time.Duration, bool) {
 	return sum / time.Duration(n), true
 }
 
-// RunCampaign executes the configured instances concurrently.
-func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+// Aggregate recomputes the campaign totals from the instance results.
+func (c *CampaignResult) Aggregate() {
+	c.TestCases = 0
+	c.Violations = nil
+	for _, r := range c.Instances {
+		if r == nil {
+			continue
+		}
+		c.TestCases += r.TestCases
+		c.Violations = append(c.Violations, r.Violations...)
+	}
+}
+
+// RunCampaign executes the configured instances concurrently, each running
+// the serial per-instance loop. A context error stops every instance
+// between test cases. Instance failures don't discard the rest of the
+// campaign: the joined errors are returned alongside the partial result
+// (instances that produced nothing stay nil in Instances).
+//
+// internal/engine schedules the same campaign at program granularity with
+// pooled executors; this path keeps the paper's one-executor-per-instance
+// layout.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Instances < 1 {
 		return nil, fmt.Errorf("fuzzer: campaign needs at least one instance")
 	}
@@ -73,27 +133,25 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return // reported once below, not per instance
+			}
 			inst := cfg.Base
-			// Distinct, well-spread seeds per instance.
-			inst.Seed = cfg.Base.Seed + int64(i)*0x3779b97f4a7c15
+			inst.Seed = InstanceSeed(cfg.Base.Seed, i)
 			f, err := New(inst)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("instance %d: %w", i, err)
 				return
 			}
-			results[i], errs[i] = f.Run()
+			res, err := f.Run(ctx)
+			results[i] = res
+			if err != nil && !errors.Is(err, ctx.Err()) {
+				errs[i] = fmt.Errorf("instance %d: %w", i, err)
+			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	out := &CampaignResult{Instances: results, Elapsed: time.Since(start)}
-	for _, r := range results {
-		out.TestCases += r.TestCases
-		out.Violations = append(out.Violations, r.Violations...)
-	}
-	return out, nil
+	out.Aggregate()
+	return out, errors.Join(append(errs, ctx.Err())...)
 }

@@ -1,6 +1,8 @@
 package fuzzer
 
 import (
+	"context"
+
 	"testing"
 
 	"github.com/sith-lab/amulet-go/internal/contract"
@@ -23,7 +25,7 @@ func runCampaign(t *testing.T, name string, cfg Config) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

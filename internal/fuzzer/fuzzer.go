@@ -3,9 +3,15 @@
 // loop that searches for contract violations (Definition 2.1): pairs of
 // inputs with identical contract traces but different micro-architectural
 // traces.
+//
+// The loop is decomposed into program-level stages — generate,
+// contract-model collect, µarch execute, compare, validate — that the
+// serial Fuzzer drives one program at a time and internal/engine schedules
+// across a worker pool.
 package fuzzer
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +52,38 @@ type Config struct {
 	// MaxViolationsPerProgram bounds recorded violations per program to
 	// keep pathological programs from flooding the report. Zero = 4.
 	MaxViolationsPerProgram int
+}
+
+// Validate reports configuration problems. Campaign entry points (New,
+// NewUnitGen, engine.RunCampaign) call it on entry.
+func (c Config) Validate() error {
+	if c.Programs < 1 || c.BaseInputs < 1 || c.MutantsPerInput < 0 {
+		return fmt.Errorf("fuzzer: bad campaign sizes (programs=%d, base=%d, mutants=%d)",
+			c.Programs, c.BaseInputs, c.MutantsPerInput)
+	}
+	if c.DefenseFactory == nil {
+		return fmt.Errorf("fuzzer: DefenseFactory is required")
+	}
+	if err := c.Gen.Validate(); err != nil {
+		return err
+	}
+	return c.Exec.Core.Validate()
+}
+
+// withDefaults fills the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.MaxViolationsPerProgram == 0 {
+		c.MaxViolationsPerProgram = 4
+	}
+	return c
+}
+
+// mutateRegs resolves the register-mutation policy against the contract.
+func (c Config) mutateRegs() bool {
+	if c.MutateRegs != nil {
+		return *c.MutateRegs
+	}
+	return !c.Contract.ObserveInitRegs
 }
 
 // Violation is one confirmed contract violation: two contract-equivalent
@@ -89,6 +127,21 @@ type Result struct {
 	ModelTime time.Duration
 }
 
+// Merge accumulates other into r (violations appended in call order;
+// Elapsed summed). The engine uses it to fold per-program work-unit
+// results into per-instance results in program-index order.
+func (r *Result) Merge(other *Result) {
+	r.Violations = append(r.Violations, other.Violations...)
+	r.TestCases += other.TestCases
+	r.Programs += other.Programs
+	r.Elapsed += other.Elapsed
+	r.Metrics.Add(other.Metrics)
+	r.ValidationRuns += other.ValidationRuns
+	r.RejectedMutants += other.RejectedMutants
+	r.GenTime += other.GenTime
+	r.ModelTime += other.ModelTime
+}
+
 // Throughput returns test cases per second.
 func (r *Result) Throughput() float64 {
 	if r.Elapsed <= 0 {
@@ -97,16 +150,25 @@ func (r *Result) Throughput() float64 {
 	return float64(r.TestCases) / r.Elapsed.Seconds()
 }
 
-// FirstDetection returns the detection time of the first violation, and
-// whether one exists.
+// FirstDetection returns the earliest detection time across the recorded
+// violations, and whether one exists. The minimum (not Violations[0]) is
+// taken because the engine orders violations by program index, not by
+// detection time.
 func (r *Result) FirstDetection() (time.Duration, bool) {
 	if len(r.Violations) == 0 {
 		return 0, false
 	}
-	return r.Violations[0].DetectedAt, true
+	first := r.Violations[0].DetectedAt
+	for _, v := range r.Violations[1:] {
+		if v.DetectedAt < first {
+			first = v.DetectedAt
+		}
+	}
+	return first, true
 }
 
-// Fuzzer is one fuzzing instance.
+// Fuzzer is one fuzzing instance: the serial driver that runs every
+// program of its budget through the stages on a single executor.
 type Fuzzer struct {
 	cfg  Config
 	gen  *generator.Generator
@@ -117,155 +179,219 @@ type Fuzzer struct {
 
 // New builds a fuzzer. It returns an error on invalid configuration.
 func New(cfg Config) (*Fuzzer, error) {
-	if cfg.Programs < 1 || cfg.BaseInputs < 1 || cfg.MutantsPerInput < 0 {
-		return nil, fmt.Errorf("fuzzer: bad campaign sizes (programs=%d, base=%d, mutants=%d)",
-			cfg.Programs, cfg.BaseInputs, cfg.MutantsPerInput)
-	}
-	if cfg.DefenseFactory == nil {
-		return nil, fmt.Errorf("fuzzer: DefenseFactory is required")
-	}
-	if err := cfg.Gen.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Exec.Core.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.MaxViolationsPerProgram == 0 {
-		cfg.MaxViolationsPerProgram = 4
-	}
+	cfg = cfg.withDefaults()
 	genCfg := cfg.Gen
 	genCfg.Seed = cfg.Seed
-	mutateRegs := !cfg.Contract.ObserveInitRegs
-	if cfg.MutateRegs != nil {
-		mutateRegs = *cfg.MutateRegs
-	}
 	def := cfg.DefenseFactory()
 	return &Fuzzer{
 		cfg:  cfg,
 		gen:  generator.New(genCfg),
-		mut:  generator.NewMutator(cfg.Seed^0x5eed, mutateRegs),
+		mut:  generator.NewMutator(cfg.Seed^mutatorSeedMix, cfg.mutateRegs()),
 		exec: executor.New(cfg.Exec, def),
 		def:  def,
 	}, nil
 }
 
+// mutatorSeedMix decorrelates the mutator stream from the generator stream
+// derived from the same seed.
+const mutatorSeedMix = 0x5eed
+
 // Executor exposes the underlying executor (tests, analysis replays).
 func (f *Fuzzer) Executor() *executor.Executor { return f.exec }
 
-// Run executes the campaign.
-func (f *Fuzzer) Run() (*Result, error) {
+// Run executes the campaign. A context error aborts the campaign between
+// test cases; the partial result accumulated so far is returned alongside
+// the context's error.
+func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
-	sb := f.gen.Sandbox()
-
+	finish := func() {
+		res.Elapsed = time.Since(start)
+		res.Metrics = f.exec.Metrics()
+	}
 	for p := 0; p < f.cfg.Programs; p++ {
-		t0 := time.Now()
-		prog := f.gen.Program()
-		res.GenTime += time.Since(t0)
-		model := contract.NewModel(f.cfg.Contract, prog, sb)
-		if err := f.exec.LoadProgram(prog, sb); err != nil {
-			return nil, err
-		}
-		res.Programs++
-
-		found, err := f.testProgram(p, prog, sb, model, res, start)
+		pc, err := buildCase(ctx, f.cfg, f.gen, f.mut, p)
 		if err != nil {
-			return nil, err
+			finish()
+			return res, err
+		}
+		found, err := ExecuteCase(ctx, f.exec, f.cfg, pc, res, start)
+		if err != nil {
+			finish()
+			return res, err
 		}
 		if found && f.cfg.StopOnFirstViolation {
 			break
 		}
 	}
-	res.Elapsed = time.Since(start)
-	res.Metrics = f.exec.Metrics()
+	finish()
 	return res, nil
 }
 
-// inputClass is one contract-equivalence class: inputs whose contract
+// InputClass is one contract-equivalence class: inputs whose contract
 // traces are identical.
-type inputClass struct {
-	ctrace contract.Trace
-	inputs []*isa.Input
-	traces []*executor.UTrace
+type InputClass struct {
+	CTrace contract.Trace
+	Inputs []*isa.Input
 }
 
-// testProgram runs one program's inputs and relational comparisons. It
-// reports whether at least one confirmed violation was found.
-func (f *Fuzzer) testProgram(pIdx int, prog *isa.Program, sb isa.Sandbox, model *contract.Model, res *Result, start time.Time) (bool, error) {
-	classes := make(map[uint64]*inputClass)
-	var order []uint64
+// ProgramCase is the output of the generate and contract-model-collect
+// stages for one test program: the program, its sandbox, and its inputs
+// (bases plus verified contract-preserving mutants) grouped into
+// contract-equivalence classes in deterministic first-seen order.
+type ProgramCase struct {
+	Index   int
+	Prog    *isa.Program
+	SB      isa.Sandbox
+	Classes []*InputClass
 
-	// Build base inputs and contract-preserving mutants, grouped by
-	// contract trace.
-	for b := 0; b < f.cfg.BaseInputs; b++ {
+	GenTime         time.Duration
+	ModelTime       time.Duration
+	RejectedMutants int
+}
+
+// buildCase runs the generate + collect stages for program pIdx, drawing
+// from the provided generator and mutator streams. Only the streams and
+// the contract decide the outcome — never the µarch execution — so the
+// generation side of a campaign is deterministic in isolation.
+func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *generator.Mutator, pIdx int) (*ProgramCase, error) {
+	pc := &ProgramCase{Index: pIdx}
+	t0 := time.Now()
+	pc.Prog = gen.Program()
+	pc.SB = gen.Sandbox()
+	pc.GenTime += time.Since(t0)
+	model := contract.NewModel(cfg.Contract, pc.Prog, pc.SB)
+
+	classes := make(map[uint64]*InputClass)
+	var order []uint64
+	for b := 0; b < cfg.BaseInputs; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
-		base := f.gen.Input()
-		res.GenTime += time.Since(t0)
+		base := gen.Input()
+		pc.GenTime += time.Since(t0)
 		t1 := time.Now()
 		ctrace, usage := model.Collect(base)
 		h := ctrace.Hash()
 		cls, ok := classes[h]
 		if !ok {
-			cls = &inputClass{ctrace: ctrace}
+			cls = &InputClass{CTrace: ctrace}
 			classes[h] = cls
 			order = append(order, h)
 		}
-		cls.inputs = append(cls.inputs, base)
-		for m := 0; m < f.cfg.MutantsPerInput; m++ {
-			mutant, ok := f.mut.Mutate(model, base, usage, ctrace)
+		cls.Inputs = append(cls.Inputs, base)
+		for m := 0; m < cfg.MutantsPerInput; m++ {
+			mutant, ok := mut.Mutate(model, base, usage, ctrace)
 			if !ok {
-				res.RejectedMutants++
+				pc.RejectedMutants++
 				continue
 			}
-			cls.inputs = append(cls.inputs, mutant)
+			cls.Inputs = append(cls.Inputs, mutant)
 		}
-		res.ModelTime += time.Since(t1)
+		pc.ModelTime += time.Since(t1)
 	}
+	for _, h := range order {
+		pc.Classes = append(pc.Classes, classes[h])
+	}
+	return pc, nil
+}
 
-	// Execute all inputs (in deterministic order) and compare µarch traces
-	// within each class.
+// UnitGen owns the generation-side state (generator and mutator streams)
+// of one program-level work unit. Every unit gets an independent stream
+// derived from the campaign seed (see UnitSeed), so the engine can build
+// cases in any order on any worker and still produce a deterministic
+// campaign.
+type UnitGen struct {
+	cfg Config
+	gen *generator.Generator
+	mut *generator.Mutator
+}
+
+// NewUnitGen builds the generation state for one work unit.
+func NewUnitGen(cfg Config, seed int64) (*UnitGen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	genCfg := cfg.Gen
+	genCfg.Seed = seed
+	return &UnitGen{
+		cfg: cfg,
+		gen: generator.New(genCfg),
+		mut: generator.NewMutator(seed^mutatorSeedMix, cfg.mutateRegs()),
+	}, nil
+}
+
+// Case runs the generate + collect stages for program pIdx.
+func (u *UnitGen) Case(ctx context.Context, pIdx int) (*ProgramCase, error) {
+	return buildCase(ctx, u.cfg, u.gen, u.mut, pIdx)
+}
+
+// ExecuteCase runs the µarch execute → compare → validate stages of one
+// program case on exec, accumulating test counts and confirmed violations
+// into res. DetectedAt stamps are relative to start. It reports whether at
+// least one confirmed violation was found; on a context error it returns
+// what it accumulated so far plus the context's error.
+func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *ProgramCase, res *Result, start time.Time) (bool, error) {
+	cfg = cfg.withDefaults()
+	if err := exec.LoadProgram(pc.Prog, pc.SB); err != nil {
+		return false, err
+	}
+	res.Programs++
+	res.GenTime += pc.GenTime
+	res.ModelTime += pc.ModelTime
+	res.RejectedMutants += pc.RejectedMutants
+	defName := exec.Core().Defense().Name()
+
 	found := false
 	violations := 0
-	for _, h := range order {
-		cls := classes[h]
-		for _, in := range cls.inputs {
-			tr, err := f.exec.Run(in)
+	for _, cls := range pc.Classes {
+		var traces []*executor.UTrace
+		for _, in := range cls.Inputs {
+			if err := ctx.Err(); err != nil {
+				return found, err
+			}
+			tr, err := exec.Run(in)
 			if err != nil {
-				return false, fmt.Errorf("fuzzer: program %d: %w", pIdx, err)
+				return found, fmt.Errorf("fuzzer: program %d: %w", pc.Index, err)
 			}
 			res.TestCases++
-			cls.traces = append(cls.traces, tr)
+			traces = append(traces, tr)
 		}
-		if violations >= f.cfg.MaxViolationsPerProgram {
+		if violations >= cfg.MaxViolationsPerProgram {
 			continue
 		}
-		i, j, differ := firstDiffPair(cls.traces)
+		i, j, differ := firstDiffPair(traces)
 		if !differ {
 			continue
 		}
-		ok, trA, trB, err := f.validate(cls.inputs[i], cls.inputs[j], res)
+		ok, trA, trB, err := validatePair(exec, cls.Inputs[i], cls.Inputs[j], res)
 		if err != nil {
-			return false, err
+			return found, err
 		}
 		if !ok {
 			continue
 		}
 		res.Violations = append(res.Violations, &Violation{
-			Defense:      f.def.Name(),
-			Contract:     f.cfg.Contract.Name,
-			Program:      prog,
-			Sandbox:      sb,
-			InputA:       cls.inputs[i],
-			InputB:       cls.inputs[j],
-			CTrace:       cls.ctrace,
+			Defense:      defName,
+			Contract:     cfg.Contract.Name,
+			Program:      pc.Prog,
+			Sandbox:      pc.SB,
+			InputA:       cls.Inputs[i],
+			InputB:       cls.Inputs[j],
+			CTrace:       cls.CTrace,
 			TraceA:       trA,
 			TraceB:       trB,
-			ProgramIndex: pIdx,
+			ProgramIndex: pc.Index,
 			DetectedAt:   time.Since(start),
 		})
 		violations++
 		found = true
-		if f.cfg.StopOnFirstViolation {
+		if cfg.StopOnFirstViolation {
 			return true, nil
 		}
 	}
@@ -282,14 +408,14 @@ func firstDiffPair(traces []*executor.UTrace) (int, int, bool) {
 	return 0, 0, false
 }
 
-// validate re-runs both inputs from an identical captured
+// validatePair re-runs both inputs from an identical captured
 // micro-architectural context. Only a persisting difference is a real
 // input-dependent leak; differences caused by the different predictor
 // state the Opt strategy carried into the two original runs disappear here
 // (paper §3.2, validation of AMuLeT-Opt violations).
-func (f *Fuzzer) validate(a, b *isa.Input, res *Result) (bool, *executor.UTrace, *executor.UTrace, error) {
+func validatePair(exec *executor.Executor, a, b *isa.Input, res *Result) (bool, *executor.UTrace, *executor.UTrace, error) {
 	res.ValidationRuns++
-	trA, trB, err := f.exec.RunValidationPair(a, b)
+	trA, trB, err := exec.RunValidationPair(a, b)
 	if err != nil {
 		return false, nil, nil, err
 	}

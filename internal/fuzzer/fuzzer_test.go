@@ -1,7 +1,11 @@
 package fuzzer
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/sith-lab/amulet-go/internal/contract"
 	"github.com/sith-lab/amulet-go/internal/executor"
@@ -40,7 +44,7 @@ func TestRunDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := f.Run()
+		res, err := f.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +69,7 @@ func TestViolationRecordConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +98,7 @@ func TestViolationRecordConsistency(t *testing.T) {
 
 func TestCampaignAggregation(t *testing.T) {
 	ccfg := CampaignConfig{Base: quickConfig(1, 8), Instances: 3}
-	res, err := RunCampaign(ccfg)
+	res, err := RunCampaign(context.Background(), ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +119,7 @@ func TestCampaignAggregation(t *testing.T) {
 
 func TestCampaignInstancesDiffer(t *testing.T) {
 	ccfg := CampaignConfig{Base: quickConfig(1, 6), Instances: 2, MaxParallel: 1}
-	res, err := RunCampaign(ccfg)
+	res, err := RunCampaign(context.Background(), ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,8 +134,56 @@ func TestCampaignInstancesDiffer(t *testing.T) {
 }
 
 func TestCampaignRejectsBadConfig(t *testing.T) {
-	if _, err := RunCampaign(CampaignConfig{Base: quickConfig(1, 4), Instances: 0}); err == nil {
+	if _, err := RunCampaign(context.Background(), CampaignConfig{Base: quickConfig(1, 4), Instances: 0}); err == nil {
 		t.Errorf("zero instances accepted")
+	}
+}
+
+// TestCampaignJoinsInstanceErrors checks that one failing instance no
+// longer discards the campaign: every instance's error is joined and the
+// (possibly empty) partial result is returned alongside.
+func TestCampaignJoinsInstanceErrors(t *testing.T) {
+	bad := quickConfig(1, 3)
+	bad.BaseInputs = 0 // invalid: every instance fails to build
+	res, err := RunCampaign(context.Background(), CampaignConfig{Base: bad, Instances: 3})
+	if err == nil {
+		t.Fatal("invalid instance config accepted")
+	}
+	if res == nil {
+		t.Fatal("no partial result alongside the error")
+	}
+	for _, want := range []string{"instance 0", "instance 1", "instance 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestCampaignPartialResultsOnCancel checks end-to-end cancellation of the
+// per-instance campaign path: a cancelled context stops promptly and the
+// work done so far is returned.
+func TestCampaignPartialResultsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ccfg := CampaignConfig{Base: quickConfig(1, 500), Instances: 2, MaxParallel: 2}
+	var res *CampaignResult
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err = RunCampaign(ctx, ccfg)
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not stop within 10s of cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if res == nil || res.TestCases == 0 {
+		t.Fatalf("expected partial results, got %+v", res)
 	}
 }
 
@@ -171,7 +223,7 @@ func TestStrategyNaiveCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +244,7 @@ func TestGeneratorExecutorIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Run(); err != nil {
+	if _, err := f.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,20 @@
+package fuzzer
+
+import "testing"
+
+func TestUnitSeedNoAntiDiagonalAlias(t *testing.T) {
+	// InstanceSeed values are multiples of seedGamma apart; UnitSeed must
+	// not alias unit (i, p) with unit (i+1, p-1) the way a direct
+	// p*seedGamma offset would.
+	seen := make(map[int64]string)
+	for i := 0; i < 64; i++ {
+		inst := InstanceSeed(42, i)
+		for p := 0; p < 64; p++ {
+			s := UnitSeed(inst, p)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("unit seed collision: (i=%d,p=%d) aliases %s (seed %#x)", i, p, prev, uint64(s))
+			}
+			seen[s] = "earlier unit"
+		}
+	}
+}

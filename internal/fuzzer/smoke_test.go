@@ -1,6 +1,8 @@
 package fuzzer
 
 import (
+	"context"
+
 	"testing"
 
 	"github.com/sith-lab/amulet-go/internal/contract"
@@ -41,7 +43,7 @@ func TestCampaignBaselineSpectreV1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestCampaignBaselineCTCond(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
