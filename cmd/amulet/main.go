@@ -6,8 +6,10 @@
 //
 //	amulet -defense speclfb -programs 200 -instances 4 -report
 //	amulet -defense stt -workers 8 -timeout 5m
+//	amulet -defense invisispec -strategy corpus -epochs 4
 //	amulet -experiment table4
 //	amulet -experiment table6 -scale paper
+//	amulet -experiment strategy
 //	amulet -list
 //
 // Without -experiment, amulet runs one campaign against the selected
@@ -37,6 +39,7 @@ import (
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/experiments"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/uarch"
 )
 
 func main() {
@@ -56,11 +59,13 @@ func main() {
 		stopFirst  = flag.Bool("stop-on-first", false, "stop each instance at its first confirmed violation")
 		report     = flag.Bool("report", false, "analyze and print violation reports (paper-figure style)")
 		minimize   = flag.Bool("minimize", false, "with -report: also minimize each violation to its gadget")
-		experiment = flag.String("experiment", "", "regenerate a paper table: table2, table3, table4, table5, table6, table8, table11, figures; or 'compare' for the extended defense comparison")
+		experiment = flag.String("experiment", "", "regenerate a paper table: table2, table3, table4, table5, table6, table8, table11, figures; 'compare' for the extended defense comparison; 'strategy' for the coverage-vs-random head-to-head")
 		scaleName  = flag.String("scale", "quick", "experiment scale: quick or paper")
 		list       = flag.Bool("list", false, "list available defenses and exit")
 		workers    = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS); the violation set is identical for every value")
 		timeout    = flag.Duration("timeout", 0, "abort the campaign/experiment after this duration, reporting partial results (0 = no limit)")
+		strategy   = flag.String("strategy", engine.StrategyRandom, "generation strategy: random (blind, the paper's setup) or corpus (coverage-guided epochs)")
+		epochs     = flag.Int("epochs", 0, "corpus-strategy epochs (0 = default); each epoch mutates the corpus frozen by the previous one")
 	)
 	flag.Parse()
 
@@ -82,6 +87,12 @@ func main() {
 	}
 
 	if *experiment != "" {
+		// Experiments pin their strategies (the table reproductions pin
+		// random, the strategy head-to-head runs both); silently ignoring
+		// these flags would misreport what was measured.
+		if *strategy != engine.StrategyRandom || *epochs != 0 {
+			fatal(fmt.Errorf("-strategy/-epochs do not apply to -experiment runs (experiments pin their strategies)"))
+		}
 		if err := runExperiment(ctx, *experiment, *scaleName, *workers); err != nil {
 			fatal(err)
 		}
@@ -129,10 +140,12 @@ func main() {
 	}
 	ccfg.Base.StopOnFirstViolation = *stopFirst
 
-	fmt.Printf("testing %s against %s: %d instance(s) x %d program(s) x %d input(s)\n",
+	fmt.Printf("testing %s against %s: %d instance(s) x %d program(s) x %d input(s), strategy=%s\n",
 		spec.Name, ccfg.Base.Contract.Name, ccfg.Instances, ccfg.Base.Programs,
-		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput))
-	res, err := engine.RunCampaign(ctx, engine.Config{Campaign: ccfg, Workers: *workers})
+		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput), *strategy)
+	res, err := engine.RunCampaign(ctx, engine.Config{
+		Campaign: ccfg, Workers: *workers, Strategy: *strategy, Epochs: *epochs,
+	})
 	if err != nil {
 		if res == nil {
 			fatal(err)
@@ -171,9 +184,23 @@ func main() {
 }
 
 func printSummary(res *fuzzer.CampaignResult) {
+	tot := res.Totals()
 	fmt.Printf("campaign time:     %v\n", res.Elapsed.Round(1e6))
 	fmt.Printf("test cases:        %d (%.0f/s)\n", res.TestCases, res.Throughput())
 	fmt.Printf("violations:        %d\n", len(res.Violations))
+	fmt.Printf("rejected mutants:  %d (validation runs: %d)\n", tot.RejectedMutants, tot.ValidationRuns)
+	cpu := tot.GenTime + tot.ModelTime + tot.Metrics.Startup + tot.Metrics.Simulate + tot.Metrics.TraceExtract
+	if cpu > 0 {
+		fmt.Printf("stage times (cpu): gen %v (%.0f%%) | model %v (%.0f%%) | exec %v (%.0f%%) | trace %v (%.0f%%) | startup %v (%.0f%%)\n",
+			tot.GenTime.Round(1e6), 100*float64(tot.GenTime)/float64(cpu),
+			tot.ModelTime.Round(1e6), 100*float64(tot.ModelTime)/float64(cpu),
+			tot.Metrics.Simulate.Round(1e6), 100*float64(tot.Metrics.Simulate)/float64(cpu),
+			tot.Metrics.TraceExtract.Round(1e6), 100*float64(tot.Metrics.TraceExtract)/float64(cpu),
+			tot.Metrics.Startup.Round(1e6), 100*float64(tot.Metrics.Startup)/float64(cpu))
+	}
+	if tot.Coverage != nil {
+		fmt.Printf("coverage features: %d of %d\n", tot.Coverage.Count(), uarch.CoverageBits)
+	}
 	if d, ok := res.AvgDetectionTime(); ok {
 		fmt.Printf("avg detection:     %v\n", d.Round(1e6))
 	}
@@ -251,6 +278,12 @@ func runExperiment(ctx context.Context, name, scaleName string, workers int) err
 			return err
 		}
 		fmt.Println(t)
+	case "strategy":
+		r, err := experiments.StrategyComparison(ctx, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

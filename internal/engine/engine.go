@@ -12,14 +12,37 @@
 // empty, so load imbalance (programs vary widely in simulation cost)
 // evens out automatically.
 //
-// Determinism is a hard requirement: an identical seed yields an identical
-// violation set regardless of worker count. Three properties deliver it:
-// every work unit draws from its own RNG streams derived from the campaign
-// seed (fuzzer.UnitSeed); µarch execution of one program always starts
-// from the same post-boot context (the pooled executors' checkpoint
-// restores exactly the state a fresh start builds); and results are
-// aggregated in (instance, program-index) order no matter the order in
-// which workers finished them.
+// # Generation strategies and epochs
+//
+// The engine threads a generation strategy (internal/generator.Strategy)
+// through every work unit. StrategyRandom is the blind baseline — bit for
+// bit the behaviour campaigns had before the strategy layer existed.
+// StrategyCorpus closes the feedback loop: executors run with the
+// speculation-coverage signal enabled (uarch.Coverage), and the campaign is
+// split into deterministic epochs. Epoch N generates programs only from the
+// corpus frozen at the end of epoch N−1 (coverage-novel and violating
+// programs, recombined by the program-level mutators); after the epoch's
+// units complete, their coverage is merged and corpus admission decided in
+// (instance, program-index) order, never in completion order.
+//
+// # Determinism contract
+//
+// An identical seed yields an identical violation set — and, under
+// StrategyCorpus, an identical corpus — regardless of worker count. Four
+// properties deliver it:
+//
+//   - every work unit draws from its own RNG streams derived from the
+//     campaign seed (fuzzer.UnitSeed), so build order is irrelevant;
+//   - µarch execution of one program always starts from the same post-boot
+//     context (the pooled executors' checkpoint restores exactly the state
+//     a fresh start builds), so unit results — violations and coverage
+//     alike — depend only on the unit, not on which worker ran it;
+//   - epochs are barriers: all of epoch N−1 completes before its coverage
+//     is merged (in (instance, program) order) and its corpus frozen, so
+//     the corpus an epoch-N unit mutates is schedule-independent;
+//   - results are aggregated in (instance, program-index) order no matter
+//     the order in which workers finished them, with the StopOnFirst cut
+//     re-derived deterministically from the lowest violating index.
 package engine
 
 import (
@@ -34,7 +57,24 @@ import (
 
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/uarch"
 )
+
+// Generation strategy names (Config.Strategy, cmd/amulet -strategy).
+const (
+	// StrategyRandom generates every program blindly from the seeded
+	// streams — the paper's setup, and the default.
+	StrategyRandom = "random"
+	// StrategyCorpus is coverage-guided generation over deterministic
+	// epochs.
+	StrategyCorpus = "corpus"
+)
+
+// DefaultEpochs is the corpus-strategy epoch count when Config.Epochs is
+// unset: epoch 0 explores randomly, later epochs mutate the corpus.
+const DefaultEpochs = 4
 
 // Config configures an engine-scheduled campaign.
 type Config struct {
@@ -48,6 +88,13 @@ type Config struct {
 	// since cancellation and stop-on-first races decide how much extra
 	// work runs.
 	Workers int
+	// Strategy selects the generation strategy: StrategyRandom (default)
+	// or StrategyCorpus.
+	Strategy string
+	// Epochs splits a corpus-strategy campaign into this many deterministic
+	// epochs (zero = DefaultEpochs). Random campaigns are a single epoch;
+	// setting Epochs > 1 with StrategyRandom is a configuration error.
+	Epochs int
 }
 
 // unit is one program-level work unit.
@@ -86,6 +133,33 @@ func (d *deque) stealBack() (unit, bool) {
 	return u, true
 }
 
+// campaign is the mutable state of one engine run, shared by its epochs.
+type campaign struct {
+	base      fuzzer.Config
+	instances int
+	programs  int
+	workers   int
+	pool      *executor.Pool
+	start     time.Time
+
+	// stopAt[i] is the lowest program index of instance i known to hold a
+	// confirmed violation; under StopOnFirstViolation, units beyond it are
+	// skipped. Aggregation and corpus admission re-derive the deterministic
+	// cut, so the racy skip is purely a work-avoidance optimization.
+	stopAt []atomic.Int64
+
+	// results[i][p] is the unit result; progs[i][p] the generated program
+	// (recorded only under the corpus strategy, for admission).
+	results [][]*fuzzer.Result
+	progs   [][]*isa.Program
+
+	// Corpus state (corpus strategy only): the campaign-global coverage map
+	// and the admitted entries. Mutated only between epochs, in
+	// (instance, program) order.
+	cover   *uarch.Coverage
+	entries []generator.CorpusEntry
+}
+
 // RunCampaign executes the campaign on the engine. A context error stops
 // all workers between test cases; whatever completed is aggregated and
 // returned alongside the context's error. Unit failures likewise don't
@@ -98,12 +172,100 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 	if err := base.Validate(); err != nil {
 		return nil, err
 	}
-	instances, programs := cfg.Campaign.Instances, base.Programs
-	nUnits := instances * programs
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	corpus := false
+	switch cfg.Strategy {
+	case "", StrategyRandom:
+		if cfg.Epochs > 1 {
+			return nil, fmt.Errorf("engine: epochs require -strategy=corpus")
+		}
+	case StrategyCorpus:
+		corpus = true
+		base.Exec.Coverage = true
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %q (%s or %s)",
+			cfg.Strategy, StrategyRandom, StrategyCorpus)
 	}
+
+	c := &campaign{
+		base:      base,
+		instances: cfg.Campaign.Instances,
+		programs:  base.Programs,
+		start:     time.Now(),
+	}
+	epochs := 1
+	if corpus {
+		epochs = cfg.Epochs
+		if epochs < 1 {
+			epochs = DefaultEpochs
+		}
+		if epochs > c.programs {
+			epochs = c.programs
+		}
+		c.cover = uarch.NewCoverage()
+		c.progs = make([][]*isa.Program, c.instances)
+		for i := range c.progs {
+			c.progs[i] = make([]*isa.Program, c.programs)
+		}
+	}
+
+	c.workers = cfg.Workers
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	if n := c.instances * c.programs; c.workers > n {
+		c.workers = n
+	}
+	c.stopAt = make([]atomic.Int64, c.instances)
+	for i := range c.stopAt {
+		c.stopAt[i].Store(math.MaxInt64)
+	}
+	c.pool = executor.NewPool(base.Exec, base.DefenseFactory, c.workers)
+	c.results = make([][]*fuzzer.Result, c.instances)
+	for i := range c.results {
+		c.results[i] = make([]*fuzzer.Result, c.programs)
+	}
+
+	var errs []error
+	for e := 0; e < epochs; e++ {
+		var strat generator.Strategy = generator.Random{}
+		if corpus {
+			strat = generator.NewCorpusStrategy(c.entries)
+		}
+		lo, hi := epochBounds(c.programs, epochs, e)
+		errs = append(errs, c.runEpoch(ctx, strat, lo, hi)...)
+		if corpus {
+			c.admit(lo, hi)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	out := &fuzzer.CampaignResult{Instances: make([]*fuzzer.Result, c.instances)}
+	for i := 0; i < c.instances; i++ {
+		out.Instances[i] = mergeInstance(c.results[i], base.StopOnFirstViolation)
+	}
+	out.Elapsed = time.Since(c.start)
+	out.Aggregate()
+	return out, errors.Join(append(errs, ctx.Err())...)
+}
+
+// epochBounds returns the program-index range [lo, hi) of epoch e when
+// programs are split into the given number of epochs (contiguous,
+// near-equal chunks; every program belongs to exactly one epoch).
+func epochBounds(programs, epochs, e int) (lo, hi int) {
+	return e * programs / epochs, (e + 1) * programs / epochs
+}
+
+// runEpoch schedules the units of one epoch (program indices [lo, hi) of
+// every instance) on the worker pool and waits for all of them — the
+// barrier that makes the next epoch's corpus schedule-independent.
+func (c *campaign) runEpoch(ctx context.Context, strat generator.Strategy, lo, hi int) []error {
+	nUnits := c.instances * (hi - lo)
+	if nUnits == 0 {
+		return nil
+	}
+	workers := c.workers
 	if workers > nUnits {
 		workers = nUnits
 	}
@@ -116,38 +278,22 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 		deques[w] = &deque{}
 	}
 	k := 0
-	for i := 0; i < instances; i++ {
-		instSeed := fuzzer.InstanceSeed(base.Seed, i)
-		for p := 0; p < programs; p++ {
+	for i := 0; i < c.instances; i++ {
+		instSeed := fuzzer.InstanceSeed(c.base.Seed, i)
+		for p := lo; p < hi; p++ {
 			d := deques[k%workers]
 			d.units = append(d.units, unit{inst: i, prog: p, seed: fuzzer.UnitSeed(instSeed, p)})
 			k++
 		}
 	}
 
-	// stopAt[i] is the lowest program index of instance i known to hold a
-	// confirmed violation; under StopOnFirstViolation, units beyond it are
-	// skipped. Aggregation re-derives the deterministic cut below, so the
-	// racy skip is purely a work-avoidance optimization.
-	stopAt := make([]atomic.Int64, instances)
-	for i := range stopAt {
-		stopAt[i].Store(math.MaxInt64)
-	}
-
-	pool := executor.NewPool(base.Exec, base.DefenseFactory, workers)
-	results := make([][]*fuzzer.Result, instances)
-	for i := range results {
-		results[i] = make([]*fuzzer.Result, programs)
-	}
 	errCh := make(chan error, workers)
-	start := time.Now()
-
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errCh <- runWorker(ctx, w, base, deques, pool, stopAt, results, start)
+			errCh <- c.runWorker(ctx, w, strat, deques)
 		}(w)
 	}
 	wg.Wait()
@@ -158,24 +304,66 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 			errs = append(errs, err)
 		}
 	}
+	return errs
+}
 
-	out := &fuzzer.CampaignResult{Instances: make([]*fuzzer.Result, instances)}
-	for i := 0; i < instances; i++ {
-		out.Instances[i] = mergeInstance(results[i], base.StopOnFirstViolation)
+// admit folds the epoch's coverage into the campaign-global map and admits
+// corpus entries, scanning strictly in (instance, program) order so the
+// corpus is identical at any worker count. A program is admitted when it
+// contributed at least one new coverage feature or confirmed a violation.
+// Under StopOnFirstViolation only programs up to the instance's
+// deterministic cut (its lowest violating index — units beyond it may or
+// may not have run) are considered.
+func (c *campaign) admit(lo, hi int) {
+	for i := 0; i < c.instances; i++ {
+		cut := c.firstViolatingIndex(i, hi)
+		for p := lo; p < hi; p++ {
+			if c.base.StopOnFirstViolation && cut >= 0 && p > cut {
+				break
+			}
+			res := c.results[i][p]
+			prog := c.progs[i][p]
+			if res == nil || prog == nil {
+				continue
+			}
+			violating := len(res.Violations) > 0
+			newBits := c.cover.Merge(res.Coverage)
+			if newBits > 0 || violating {
+				c.entries = append(c.entries, generator.CorpusEntry{
+					Prog: prog, NewBits: newBits, Violating: violating,
+				})
+			}
+		}
+		// The window has been scanned; release the program references so
+		// non-admitted programs don't stay live for the whole campaign
+		// (admitted ones are retained by c.entries).
+		for p := lo; p < hi; p++ {
+			c.progs[i][p] = nil
+		}
 	}
-	out.Elapsed = time.Since(start)
-	out.Aggregate()
-	return out, errors.Join(append(errs, ctx.Err())...)
+}
+
+// firstViolatingIndex returns instance i's lowest violating program index
+// below hi, or -1. Every unit below that index is guaranteed to have run
+// (the stop-at skip only ever cuts above it), which is what makes the cut
+// deterministic.
+func (c *campaign) firstViolatingIndex(i, hi int) int {
+	for p := 0; p < hi; p++ {
+		if r := c.results[i][p]; r != nil && len(r.Violations) > 0 {
+			return p
+		}
+	}
+	return -1
 }
 
 // runWorker drains its own deque and then steals until no work is left.
 // It owns one pooled executor for its whole lifetime.
-func runWorker(ctx context.Context, w int, base fuzzer.Config, deques []*deque, pool *executor.Pool, stopAt []atomic.Int64, results [][]*fuzzer.Result, start time.Time) error {
-	exec, err := pool.Acquire(ctx)
+func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strategy, deques []*deque) error {
+	exec, err := c.pool.Acquire(ctx)
 	if err != nil {
 		return err
 	}
-	defer pool.Release(exec)
+	defer c.pool.Release(exec)
 	var errs []error
 	for {
 		if ctx.Err() != nil {
@@ -188,11 +376,14 @@ func runWorker(ctx context.Context, w int, base fuzzer.Config, deques []*deque, 
 		if !ok {
 			break
 		}
-		if int64(u.prog) > stopAt[u.inst].Load() {
+		if int64(u.prog) > c.stopAt[u.inst].Load() {
 			continue
 		}
-		res, err := runUnit(ctx, base, exec, u, start)
-		results[u.inst][u.prog] = res
+		res, prog, err := c.runUnit(ctx, exec, strat, u)
+		c.results[u.inst][u.prog] = res
+		if c.progs != nil {
+			c.progs[u.inst][u.prog] = prog
+		}
 		if err != nil {
 			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
 				break // reported once by RunCampaign
@@ -200,10 +391,10 @@ func runWorker(ctx context.Context, w int, base fuzzer.Config, deques []*deque, 
 			errs = append(errs, fmt.Errorf("engine: instance %d program %d: %w", u.inst, u.prog, err))
 			continue
 		}
-		if base.StopOnFirstViolation && len(res.Violations) > 0 {
+		if c.base.StopOnFirstViolation && len(res.Violations) > 0 {
 			for {
-				cur := stopAt[u.inst].Load()
-				if int64(u.prog) >= cur || stopAt[u.inst].CompareAndSwap(cur, int64(u.prog)) {
+				cur := c.stopAt[u.inst].Load()
+				if int64(u.prog) >= cur || c.stopAt[u.inst].CompareAndSwap(cur, int64(u.prog)) {
 					break
 				}
 			}
@@ -213,29 +404,33 @@ func runWorker(ctx context.Context, w int, base fuzzer.Config, deques []*deque, 
 }
 
 // runUnit runs the full stage pipeline of one work unit on the worker's
-// executor, returning the unit-local result (metrics attributed by
-// snapshot diff, since the executor is shared across this worker's units).
-func runUnit(ctx context.Context, base fuzzer.Config, exec *executor.Executor, u unit, start time.Time) (*fuzzer.Result, error) {
+// executor, returning the unit-local result and the generated program
+// (metrics attributed by snapshot diff, since the executor is shared across
+// this worker's units).
+func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit) (*fuzzer.Result, *isa.Program, error) {
 	t0 := time.Now()
 	before := exec.Metrics()
 	res := &fuzzer.Result{}
-	ug, err := fuzzer.NewUnitGen(base, u.seed)
+	var prog *isa.Program
+	ug, err := fuzzer.NewUnitGenStrategy(c.base, u.seed, strat)
 	if err == nil {
 		var pc *fuzzer.ProgramCase
 		if pc, err = ug.Case(ctx, u.prog); err == nil {
-			_, err = fuzzer.ExecuteCase(ctx, exec, base, pc, res, start)
+			prog = pc.Prog
+			_, err = fuzzer.ExecuteCase(ctx, exec, c.base, pc, res, c.start)
 		}
 	}
 	res.Elapsed = time.Since(t0)
 	res.Metrics = exec.Metrics().Minus(before)
-	return res, err
+	return res, prog, err
 }
 
 // mergeInstance folds one instance's unit results in program-index order.
 // Under StopOnFirstViolation the deterministic cut is the lowest violating
 // program index: units past it may or may not have run (the stop signal
-// races with the workers), so their violations are dropped — only their
-// counters are kept — making the violation set independent of scheduling.
+// races with the workers), so their violations and coverage are dropped —
+// only their counters are kept — making the violation set and the reported
+// coverage independent of scheduling.
 func mergeInstance(units []*fuzzer.Result, stopFirst bool) *fuzzer.Result {
 	ir := &fuzzer.Result{}
 	firstViol := -1
@@ -254,6 +449,7 @@ func mergeInstance(units []*fuzzer.Result, stopFirst bool) *fuzzer.Result {
 		if firstViol >= 0 && p > firstViol {
 			trimmed := *ur
 			trimmed.Violations = nil
+			trimmed.Coverage = nil
 			ir.Merge(&trimmed)
 			continue
 		}

@@ -218,6 +218,115 @@ func TestEngineBootPaidPerWorker(t *testing.T) {
 	}
 }
 
+// TestEngineRandomStrategyMatchesDefault: naming the random strategy
+// explicitly changes nothing — same code path, same violation set as the
+// default (seed-compatible) configuration.
+func TestEngineRandomStrategyMatchesDefault(t *testing.T) {
+	def, err := RunCampaign(context.Background(), engineConfig(1, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engineConfig(1, 2, 10)
+	cfg.Strategy = StrategyRandom
+	named, err := RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := campaignKeys(t, def), campaignKeys(t, named)
+	if len(a) == 0 {
+		t.Fatalf("no violations; the equivalence check needs a leaky target")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("-strategy=random diverged from the default:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestEngineCorpusDeterministicAcrossWorkerCounts is the corpus-strategy
+// determinism guarantee: epochs freeze the corpus at schedule-independent
+// barriers and admission scans in (instance, program) order, so a fixed
+// seed yields the identical violation set at any worker count.
+func TestEngineCorpusDeterministicAcrossWorkerCounts(t *testing.T) {
+	runAt := func(workers int) []string {
+		cfg := engineConfig(1, 2, 16)
+		cfg.Workers = workers
+		cfg.Strategy = StrategyCorpus
+		cfg.Epochs = 4
+		res, err := RunCampaign(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return campaignKeys(t, res)
+	}
+	one := runAt(1)
+	four := runAt(4)
+	eight := runAt(8)
+	if len(one) == 0 {
+		t.Fatalf("corpus campaign found no violations; the determinism check needs a leaky target")
+	}
+	if len(one) != len(four) || len(one) != len(eight) {
+		t.Fatalf("violation sets differ in size: workers=1/4/8 found %d/%d/%d",
+			len(one), len(four), len(eight))
+	}
+	for i := range one {
+		if one[i] != four[i] || one[i] != eight[i] {
+			t.Errorf("violation %d differs across worker counts:\n  1: %s\n  4: %s\n  8: %s",
+				i, one[i], four[i], eight[i])
+		}
+	}
+}
+
+// TestEngineCorpusStopOnFirstDeterministic: the stop-on-first cut and the
+// corpus admission cut agree, so even early-stopping corpus campaigns are
+// schedule-independent.
+func TestEngineCorpusStopOnFirstDeterministic(t *testing.T) {
+	runAt := func(workers int) []string {
+		cfg := engineConfig(3, 1, 20)
+		cfg.Campaign.Base.StopOnFirstViolation = true
+		cfg.Workers = workers
+		cfg.Strategy = StrategyCorpus
+		cfg.Epochs = 4
+		res, err := RunCampaign(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 1 {
+			t.Fatalf("stop-on-first kept %d violations", len(res.Violations))
+		}
+		return campaignKeys(t, res)
+	}
+	one := runAt(1)
+	six := runAt(6)
+	if len(one) != 1 {
+		t.Fatalf("expected exactly one violation, got %d", len(one))
+	}
+	if one[0] != six[0] {
+		t.Errorf("stop-on-first violation differs:\n  workers=1: %s\n  workers=6: %s", one[0], six[0])
+	}
+}
+
+// TestEngineCorpusCollectsCoverage: corpus campaigns surface the merged
+// coverage signal on the instance results.
+func TestEngineCorpusCollectsCoverage(t *testing.T) {
+	cfg := engineConfig(1, 1, 8)
+	cfg.Strategy = StrategyCorpus
+	cfg.Epochs = 2
+	res, err := RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Totals().Coverage
+	if cov == nil || cov.Empty() {
+		t.Fatalf("corpus campaign reported no coverage")
+	}
+	plain, err := RunCampaign(context.Background(), engineConfig(1, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Totals().Coverage != nil {
+		t.Errorf("random campaign collected coverage; the paper reproductions must not pay for it")
+	}
+}
+
 func TestEngineRejectsBadConfig(t *testing.T) {
 	cfg := engineConfig(1, 1, 4)
 	cfg.Campaign.Instances = 0
@@ -228,5 +337,15 @@ func TestEngineRejectsBadConfig(t *testing.T) {
 	cfg.Campaign.Base.DefenseFactory = nil
 	if _, err := RunCampaign(context.Background(), cfg); err == nil {
 		t.Errorf("nil defense factory accepted")
+	}
+	cfg = engineConfig(1, 1, 4)
+	cfg.Strategy = "genetic"
+	if _, err := RunCampaign(context.Background(), cfg); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+	cfg = engineConfig(1, 1, 4)
+	cfg.Epochs = 3 // epochs without the corpus strategy
+	if _, err := RunCampaign(context.Background(), cfg); err == nil {
+		t.Errorf("epochs accepted without the corpus strategy")
 	}
 }

@@ -68,6 +68,14 @@ type Config struct {
 	Prime    PrimeMode
 	Strategy Strategy
 
+	// Coverage enables speculation-coverage collection: the core records
+	// squash events, speculation-window depths, defense-hook activations
+	// and cache/TLB/LFB transition edges into a uarch.Coverage bitmap,
+	// which the corpus generation strategy uses as its novelty signal.
+	// Disabled (the default) the instrumentation costs one nil check per
+	// event, keeping the paper's table reproductions unperturbed.
+	Coverage bool
+
 	// BootInsts is the length of the simulated SE-mode startup workload
 	// (process loader, runtime init) executed whenever the simulator
 	// "starts". It stands in for gem5's multi-second startup, which the
@@ -138,7 +146,24 @@ func New(cfg Config, def uarch.Defense) *Executor {
 	if cfg.BootInsts == 0 {
 		cfg.BootInsts = DefaultBootInsts
 	}
-	return &Executor{cfg: cfg, core: uarch.NewCore(cfg.Core, def)}
+	e := &Executor{cfg: cfg, core: uarch.NewCore(cfg.Core, def)}
+	if cfg.Coverage {
+		e.core.SetCoverage(uarch.NewCoverage())
+	}
+	return e
+}
+
+// Coverage returns the live coverage map the core records into, or nil when
+// coverage collection is disabled. Callers that need a stable snapshot
+// should Clone it (the map keeps accumulating as the executor runs).
+func (e *Executor) Coverage() *uarch.Coverage { return e.core.CoverageMap() }
+
+// ResetCoverage clears the coverage map (no-op when disabled). The fuzzer
+// resets per program case so every work unit reports only its own features.
+func (e *Executor) ResetCoverage() {
+	if cov := e.core.CoverageMap(); cov != nil {
+		cov.Reset()
+	}
 }
 
 // Core exposes the underlying core (analysis replays, tests).
@@ -337,6 +362,12 @@ func bootProgram(n int) *isa.Program {
 
 func (e *Executor) runBoot() {
 	e.met.BootRuns++
+	// The boot workload is identical for every start; its features are
+	// noise, not signal, so coverage is suspended while it runs.
+	if cov := e.core.CoverageMap(); cov != nil {
+		e.core.SetCoverage(nil)
+		defer e.core.SetCoverage(cov)
+	}
 	boot := bootProgram(e.cfg.BootInsts)
 	saveProg, saveSB := e.prog, e.sb
 	bootSB := isa.Sandbox{Pages: 4}

@@ -282,3 +282,72 @@ func TestValidationPairDeterministic(t *testing.T) {
 		t.Errorf("validation pair not reproducible across executors")
 	}
 }
+
+// TestCoverageCollection: an executor built with Coverage records features
+// while running inputs, ResetCoverage clears them, and the boot workload
+// contributes nothing (its features are constant noise).
+func TestCoverageCollection(t *testing.T) {
+	prog, sb, inA, inB := genProgram(3)
+	cfg := testConfig(StrategyOpt, PrimeFill)
+	cfg.Coverage = true
+	e := New(cfg, nil)
+	if e.Coverage() == nil {
+		t.Fatalf("coverage-enabled executor returned a nil map")
+	}
+	if err := e.LoadProgram(prog, sb); err != nil {
+		t.Fatal(err)
+	}
+	// LoadProgram under Opt simulates the boot workload; with boot features
+	// suppressed the map must still be empty here.
+	if !e.Coverage().Empty() {
+		t.Errorf("boot workload leaked %d coverage features", e.Coverage().Count())
+	}
+	if _, err := e.Run(inA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(inB); err != nil {
+		t.Fatal(err)
+	}
+	if e.Coverage().Empty() {
+		t.Errorf("no coverage recorded after two runs")
+	}
+	e.ResetCoverage()
+	if !e.Coverage().Empty() {
+		t.Errorf("ResetCoverage left features behind")
+	}
+}
+
+// TestCoverageDisabledReturnsNil: the default configuration collects
+// nothing and exposes no map.
+func TestCoverageDisabledReturnsNil(t *testing.T) {
+	e := New(testConfig(StrategyOpt, PrimeFill), nil)
+	if e.Coverage() != nil {
+		t.Errorf("coverage map present without Config.Coverage")
+	}
+	e.ResetCoverage() // must be a no-op, not a panic
+}
+
+// TestCoverageDeterministicAcrossExecutors: two executors running the same
+// program and inputs from fresh boots record identical feature sets — the
+// unit-level property engine determinism relies on.
+func TestCoverageDeterministicAcrossExecutors(t *testing.T) {
+	prog, sb, inA, inB := genProgram(9)
+	run := func() uint64 {
+		cfg := testConfig(StrategyOpt, PrimeFill)
+		cfg.Coverage = true
+		e := New(cfg, nil)
+		e.EnableBootCheckpoint()
+		if err := e.LoadProgram(prog, sb); err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range []*isa.Input{inA, inB} {
+			if _, err := e.Run(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Coverage().Digest()
+	}
+	if run() != run() {
+		t.Errorf("identical executions recorded different coverage")
+	}
+}

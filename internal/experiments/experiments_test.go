@@ -143,3 +143,47 @@ func TestTable11Counts(t *testing.T) {
 		}
 	}
 }
+
+// TestStrategyComparisonCorpusNeverWorse is the acceptance gate of the
+// coverage-guided strategy: on the bundled defense set, with identical
+// seeds and budgets, the corpus strategy confirms at least as many
+// violations per executed case as blind random generation — and strictly
+// more in aggregate. Campaigns are fully deterministic for a fixed seed, so
+// this is a stable regression canary for the feedback loop: if a change to
+// the coverage signal, the mutators or the epoch schedule degrades the
+// strategy, this test is where it shows up.
+func TestStrategyComparisonCorpusNeverWorse(t *testing.T) {
+	sc := tinyScale()
+	sc.Seed = 4
+	res, err := StrategyComparison(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(EvaluatedDefenses()) {
+		t.Fatalf("head-to-head covered %d defenses, want the bundled set (%d)",
+			len(res.Rows), len(EvaluatedDefenses()))
+	}
+	randTotal, corpusTotal := 0, 0
+	for _, row := range res.Rows {
+		if row.RandomCases == 0 || row.CorpusCases == 0 {
+			t.Fatalf("%s: empty campaign (rand=%d corpus=%d cases)",
+				row.Defense, row.RandomCases, row.CorpusCases)
+		}
+		if row.CorpusRate() < row.RandomRate() {
+			t.Errorf("%s: corpus strategy is worse: %.4f vs %.4f violations/case",
+				row.Defense, row.CorpusRate(), row.RandomRate())
+		}
+		randTotal += row.RandomViolations
+		corpusTotal += row.CorpusViolations
+	}
+	if corpusTotal <= randTotal {
+		t.Errorf("corpus found %d violations in aggregate, random %d; the feedback loop earns nothing",
+			corpusTotal, randTotal)
+	}
+	s := res.Table.String()
+	for _, want := range []string{"Defense", "Rand v/1k", "Corpus v/1k", "baseline", "stt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}

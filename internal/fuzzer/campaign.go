@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/sith-lab/amulet-go/internal/uarch"
 )
 
 // CampaignConfig runs several fuzzing instances in parallel with distinct
@@ -29,26 +31,17 @@ func InstanceSeed(campaign int64, i int) int64 {
 	return int64(uint64(campaign) + uint64(i)*seedGamma)
 }
 
-// mix64 is splitmix64's output finalizer (a bijective avalanche).
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
-}
-
 // UnitSeed derives the RNG seed of the program-level work unit (instSeed,
-// p). Every program of every instance gets an independent, well-spread
-// stream, which is what lets the engine schedule units in any order
-// deterministically. The instance seed is finalized before the program
-// offset is added: InstanceSeed values are exact multiples of seedGamma
-// apart, so offsetting them by p*seedGamma directly would alias unit
-// (i, p) with unit (i+1, p-1) and make instances replicas of each other.
+// p) with the splitmix64 finalizer (uarch.Mix64). Every program of every
+// instance gets an independent, well-spread stream, which is what lets the
+// engine schedule units in any order deterministically. The instance seed
+// is finalized before the program offset is added: InstanceSeed values are
+// exact multiples of seedGamma apart, so offsetting them by p*seedGamma
+// directly would alias unit (i, p) with unit (i+1, p-1) and make instances
+// replicas of each other.
 func UnitSeed(instSeed int64, p int) int64 {
-	x := mix64(uint64(instSeed)) + uint64(p+1)*seedGamma
-	return int64(mix64(x))
+	x := uarch.Mix64(uint64(instSeed)) + uint64(p+1)*seedGamma
+	return int64(uarch.Mix64(x))
 }
 
 // CampaignResult aggregates instance results.
@@ -90,6 +83,19 @@ func (c *CampaignResult) AvgDetectionTime() (time.Duration, bool) {
 		return 0, false
 	}
 	return sum / time.Duration(n), true
+}
+
+// Totals merges every instance result into one Result — the campaign-wide
+// counters, stage timings and executor metrics (cmd/amulet's summary and
+// the experiments read these).
+func (c *CampaignResult) Totals() *Result {
+	t := &Result{}
+	for _, r := range c.Instances {
+		if r != nil {
+			t.Merge(r)
+		}
+	}
+	return t
 }
 
 // Aggregate recomputes the campaign totals from the instance results.

@@ -119,6 +119,11 @@ type Result struct {
 	// RejectedMutants counts mutation attempts the model refused.
 	RejectedMutants int
 
+	// Coverage is the union of the speculation-coverage features observed
+	// while executing this result's programs. Nil unless the executor ran
+	// with coverage collection enabled (corpus-strategy campaigns).
+	Coverage *uarch.Coverage
+
 	// GenTime is time spent generating programs and inputs; ModelTime is
 	// time spent collecting contract traces (leakage-model execution,
 	// including mutation verification). Together with the executor metrics
@@ -140,6 +145,12 @@ func (r *Result) Merge(other *Result) {
 	r.RejectedMutants += other.RejectedMutants
 	r.GenTime += other.GenTime
 	r.ModelTime += other.ModelTime
+	if other.Coverage != nil {
+		if r.Coverage == nil {
+			r.Coverage = uarch.NewCoverage()
+		}
+		r.Coverage.Merge(other.Coverage)
+	}
 }
 
 // Throughput returns test cases per second.
@@ -213,7 +224,7 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 		res.Metrics = f.exec.Metrics()
 	}
 	for p := 0; p < f.cfg.Programs; p++ {
-		pc, err := buildCase(ctx, f.cfg, f.gen, f.mut, p)
+		pc, err := buildCase(ctx, f.cfg, f.gen, f.mut, generator.Random{}, p)
 		if err != nil {
 			finish()
 			return res, err
@@ -254,13 +265,14 @@ type ProgramCase struct {
 }
 
 // buildCase runs the generate + collect stages for program pIdx, drawing
-// from the provided generator and mutator streams. Only the streams and
-// the contract decide the outcome — never the µarch execution — so the
-// generation side of a campaign is deterministic in isolation.
-func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *generator.Mutator, pIdx int) (*ProgramCase, error) {
+// from the provided generator and mutator streams through the generation
+// strategy. Only the streams, the strategy's frozen corpus and the contract
+// decide the outcome — never the µarch execution — so the generation side
+// of a campaign is deterministic in isolation.
+func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *generator.Mutator, strat generator.Strategy, pIdx int) (*ProgramCase, error) {
 	pc := &ProgramCase{Index: pIdx}
 	t0 := time.Now()
-	pc.Prog = gen.Program()
+	pc.Prog = strat.NewProgram(gen)
 	pc.SB = gen.Sandbox()
 	pc.GenTime += time.Since(t0)
 	model := contract.NewModel(cfg.Contract, pc.Prog, pc.SB)
@@ -300,35 +312,48 @@ func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *g
 	return pc, nil
 }
 
-// UnitGen owns the generation-side state (generator and mutator streams)
-// of one program-level work unit. Every unit gets an independent stream
-// derived from the campaign seed (see UnitSeed), so the engine can build
-// cases in any order on any worker and still produce a deterministic
-// campaign.
+// UnitGen owns the generation-side state (generator and mutator streams,
+// plus the generation strategy) of one program-level work unit. Every unit
+// gets an independent stream derived from the campaign seed (see UnitSeed),
+// so the engine can build cases in any order on any worker and still
+// produce a deterministic campaign.
 type UnitGen struct {
-	cfg Config
-	gen *generator.Generator
-	mut *generator.Mutator
+	cfg   Config
+	gen   *generator.Generator
+	mut   *generator.Mutator
+	strat generator.Strategy
 }
 
-// NewUnitGen builds the generation state for one work unit.
+// NewUnitGen builds the generation state for one work unit with the blind
+// Random strategy (the seed campaigns' exact behaviour).
 func NewUnitGen(cfg Config, seed int64) (*UnitGen, error) {
+	return NewUnitGenStrategy(cfg, seed, generator.Random{})
+}
+
+// NewUnitGenStrategy builds the generation state for one work unit with an
+// explicit strategy. Corpus strategies must be frozen (read-only) for the
+// unit's whole epoch; the engine guarantees this.
+func NewUnitGenStrategy(cfg Config, seed int64, strat generator.Strategy) (*UnitGen, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if strat == nil {
+		strat = generator.Random{}
 	}
 	cfg = cfg.withDefaults()
 	genCfg := cfg.Gen
 	genCfg.Seed = seed
 	return &UnitGen{
-		cfg: cfg,
-		gen: generator.New(genCfg),
-		mut: generator.NewMutator(seed^mutatorSeedMix, cfg.mutateRegs()),
+		cfg:   cfg,
+		gen:   generator.New(genCfg),
+		mut:   generator.NewMutator(seed^mutatorSeedMix, cfg.mutateRegs()),
+		strat: strat,
 	}, nil
 }
 
 // Case runs the generate + collect stages for program pIdx.
 func (u *UnitGen) Case(ctx context.Context, pIdx int) (*ProgramCase, error) {
-	return buildCase(ctx, u.cfg, u.gen, u.mut, pIdx)
+	return buildCase(ctx, u.cfg, u.gen, u.mut, u.strat, pIdx)
 }
 
 // ExecuteCase runs the µarch execute → compare → validate stages of one
@@ -340,6 +365,19 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 	cfg = cfg.withDefaults()
 	if err := exec.LoadProgram(pc.Prog, pc.SB); err != nil {
 		return false, err
+	}
+	if cov := exec.Coverage(); cov != nil {
+		// Per-case coverage: cleared here (after the LoadProgram startup,
+		// whose checkpoint restore is not signal) and folded into the
+		// result on every exit path, so each work unit reports exactly the
+		// features its own program exercised.
+		exec.ResetCoverage()
+		defer func() {
+			if res.Coverage == nil {
+				res.Coverage = uarch.NewCoverage()
+			}
+			res.Coverage.Merge(cov)
+		}()
 	}
 	res.Programs++
 	res.GenTime += pc.GenTime

@@ -87,6 +87,80 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestConfigValidateBoundaries pins the exact edges of the accepted range:
+// the smallest and largest legal configurations pass, one step beyond each
+// edge fails.
+func TestConfigValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"min-insts-floor", func(c *Config) { c.MinInsts, c.MaxInsts = 4, 4 }, true},
+		{"min-insts-below-floor", func(c *Config) { c.MinInsts, c.MaxInsts = 3, 10 }, false},
+		{"equal-bounds", func(c *Config) { c.MinInsts, c.MaxInsts = 20, 20 }, true},
+		{"inverted-by-one", func(c *Config) { c.MinInsts, c.MaxInsts = 21, 20 }, false},
+		{"max-blocks-ceiling", func(c *Config) { c.MaxBlocks = 16 }, true},
+		{"max-blocks-over", func(c *Config) { c.MaxBlocks = 17 }, false},
+		{"negative-blocks", func(c *Config) { c.MaxBlocks = -1 }, false},
+		{"pages-zero", func(c *Config) { c.Pages = 0 }, false},
+		{"pages-negative", func(c *Config) { c.Pages = -4 }, false},
+		{"pages-max", func(c *Config) { c.Pages = 128 }, true},
+		{"negative-insts", func(c *Config) { c.MinInsts, c.MaxInsts = -8, -4 }, false},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpectedly rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: unexpectedly accepted", tc.name)
+		}
+	}
+}
+
+// TestInputMutatorDeterministic: two mutators with the same seed produce
+// the identical mutant sequence (registers and memory), the property that
+// lets the engine rebuild any work unit's inputs from its seed alone.
+func TestInputMutatorDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 55
+	gA, gB := New(cfg), New(cfg)
+	mA, mB := NewMutator(123, true), NewMutator(123, true)
+	mutants := 0
+	for i := 0; i < 10; i++ {
+		pA, pB := gA.Program(), gB.Program()
+		mdA := contract.NewModel(contract.CTSeq, pA, gA.Sandbox())
+		mdB := contract.NewModel(contract.CTSeq, pB, gB.Sandbox())
+		baseA, baseB := gA.Input(), gB.Input()
+		trA, useA := mdA.Collect(baseA)
+		trB, useB := mdB.Collect(baseB)
+		for k := 0; k < 6; k++ {
+			a, okA := mA.Mutate(mdA, baseA, useA, trA)
+			b, okB := mB.Mutate(mdB, baseB, useB, trB)
+			if okA != okB {
+				t.Fatalf("program %d mutant %d: acceptance diverged", i, k)
+			}
+			if !okA {
+				continue
+			}
+			mutants++
+			if a.Regs != b.Regs {
+				t.Fatalf("program %d mutant %d: register streams diverged", i, k)
+			}
+			if string(a.Mem) != string(b.Mem) {
+				t.Fatalf("program %d mutant %d: memory streams diverged", i, k)
+			}
+		}
+	}
+	if mutants == 0 {
+		t.Fatalf("no mutants produced; the determinism check never ran")
+	}
+}
+
 func TestMutatorPreservesContractTrace(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 7

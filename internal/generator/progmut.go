@@ -1,0 +1,175 @@
+package generator
+
+import (
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// Program-level mutators for the corpus strategy. Each derives a new valid
+// program from corpus entries, drawing every random decision from the
+// generator's stream (so a work unit's mutants depend only on its seed and
+// the frozen corpus). Mutants always satisfy isa.Program.Validate: targets
+// stay strictly forward, registers and sizes are never invented — the
+// mutators only recombine and perturb material the generator itself emits.
+
+// maxMutations bounds how many point mutations one derivation applies.
+const maxMutations = 3
+
+// MutateProgram derives a mutant of p by applying 1..maxMutations point
+// mutations (op flip, cond flip, window stretch, input-region reshuffle).
+func (g *Generator) MutateProgram(p *isa.Program) *isa.Program {
+	q := p.Clone()
+	n := 1 + g.rng.Intn(maxMutations)
+	for k := 0; k < n; k++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			g.flipOp(q)
+		case 1:
+			g.flipCond(q)
+		case 2:
+			g.stretchWindow(q)
+		default:
+			g.reshuffleInputRegions(q)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		// Mutators preserve validity by construction; this is a guard rail,
+		// and the fallback stays deterministic (same stream).
+		return g.Program()
+	}
+	return q
+}
+
+// Splice crosses two programs: a prefix of a joined with a suffix of b,
+// control-flow targets repaired to stay strictly forward. The offspring
+// length is drawn from the generator's configured bounds, so splicing never
+// grows programs beyond what plain generation produces.
+func (g *Generator) Splice(a, b *isa.Program) *isa.Program {
+	if a.Len() < 2 || b.Len() < 2 {
+		return g.MutateProgram(a)
+	}
+	want := g.cfg.MinInsts + g.rng.Intn(g.cfg.MaxInsts-g.cfg.MinInsts+1)
+	cut := 1 + g.rng.Intn(a.Len()-1)
+	if cut > want {
+		cut = want
+	}
+	tail := want - cut
+	if tail > b.Len() {
+		tail = b.Len()
+	}
+	q := &isa.Program{NumBlocks: a.NumBlocks}
+	q.Insts = append(q.Insts, a.Insts[:cut]...)
+	q.Insts = append(q.Insts, b.Insts[b.Len()-tail:]...)
+	g.repairTargets(q)
+	if err := q.Validate(); err != nil {
+		return g.Program()
+	}
+	return q
+}
+
+// repairTargets retargets control instructions whose targets the splice
+// made backward or out of range, keeping the DAG property.
+func (g *Generator) repairTargets(p *isa.Program) {
+	n := p.Len()
+	blocks := 1
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if !in.Op.IsControl() {
+			continue
+		}
+		blocks++
+		if in.Target <= i || in.Target > n {
+			in.Target = i + 1 + g.rng.Intn(n-i)
+		}
+	}
+	p.NumBlocks = blocks
+}
+
+// flipOp perturbs one instruction's operation: ALU ops swap within the
+// commutative arithmetic/logic set, memory accesses change width, and
+// immediates get re-drawn.
+func (g *Generator) flipOp(p *isa.Program) {
+	i := g.rng.Intn(p.Len())
+	in := &p.Insts[i]
+	switch {
+	case in.Op == isa.OpMovImm:
+		in.Imm = int64(g.rng.Uint64() >> g.rng.Intn(60))
+	case in.Op == isa.OpAdd || in.Op == isa.OpSub || in.Op == isa.OpAnd ||
+		in.Op == isa.OpOr || in.Op == isa.OpXor || in.Op == isa.OpMul:
+		alts := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMul}
+		in.Op = alts[g.rng.Intn(len(alts))]
+	case in.Op.IsMem():
+		in.Size = g.randSize()
+	default:
+		// Shift, cmp, cmov, fence, control: perturb the immediate where one
+		// exists, otherwise leave the instruction alone.
+		if in.UseImm {
+			in.Imm = int64(g.rng.Intn(4096))
+		}
+	}
+}
+
+// flipCond re-draws the condition of one conditional branch or cmov,
+// changing which paths mispredict and how deep speculation runs.
+func (g *Generator) flipCond(p *isa.Program) {
+	var idxs []int
+	for i, in := range p.Insts {
+		if in.Op == isa.OpBranch || in.Op == isa.OpCmov {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	p.Insts[idxs[g.rng.Intn(len(idxs))]].Cond = g.randCond()
+}
+
+// stretchWindow retargets one conditional branch, usually further forward:
+// a longer not-taken path means more instructions execute under the branch
+// shadow when it mispredicts — a deeper speculation window.
+func (g *Generator) stretchWindow(p *isa.Program) {
+	var idxs []int
+	for i, in := range p.Insts {
+		if in.Op == isa.OpBranch {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	i := idxs[g.rng.Intn(len(idxs))]
+	in := &p.Insts[i]
+	n := p.Len()
+	if g.rng.Intn(4) > 0 {
+		// Stretch: move the target forward of where it is now.
+		if in.Target < n {
+			in.Target += 1 + g.rng.Intn(n-in.Target)
+		}
+	} else {
+		// Occasionally re-draw anywhere forward, for CFG variety.
+		in.Target = i + 1 + g.rng.Intn(n-i)
+	}
+}
+
+// reshuffleInputRegions permutes the address offsets across the program's
+// memory accesses (and re-draws one), re-aiming which sandbox regions the
+// accesses touch without changing the dependence structure.
+func (g *Generator) reshuffleInputRegions(p *isa.Program) {
+	var idxs []int
+	for i, in := range p.Insts {
+		if in.Op.IsMem() {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) < 2 {
+		return
+	}
+	perm := g.rng.Perm(len(idxs))
+	offs := make([]int64, len(idxs))
+	for k, i := range idxs {
+		offs[k] = p.Insts[i].Imm
+	}
+	for k, i := range idxs {
+		p.Insts[i].Imm = offs[perm[k]]
+	}
+	p.Insts[idxs[g.rng.Intn(len(idxs))]].Imm = int64(g.rng.Intn(int(g.Sandbox().Size())))
+}

@@ -1,0 +1,123 @@
+package generator
+
+import "github.com/sith-lab/amulet-go/internal/isa"
+
+// Strategy decides where the next test program comes from. Implementations
+// draw every random decision from the Generator passed in, so a work unit's
+// program depends only on the unit's seeded stream (plus any frozen corpus
+// the strategy holds) — the property that keeps engine campaigns
+// deterministic at any worker count.
+type Strategy interface {
+	// Name identifies the strategy in reports and flags.
+	Name() string
+	// NewProgram produces the next test program from g's stream.
+	NewProgram(g *Generator) *isa.Program
+}
+
+// Random is the blind-generation baseline: every program comes straight
+// from the seeded generator, bit-for-bit the behaviour campaigns had before
+// the strategy layer existed. The paper's table reproductions pin it.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// NewProgram implements Strategy by delegating to the generator.
+func (Random) NewProgram(g *Generator) *isa.Program { return g.Program() }
+
+// CorpusEntry is one kept program in the coverage corpus.
+type CorpusEntry struct {
+	Prog *isa.Program
+	// NewBits is how many coverage features the program contributed when it
+	// was admitted; Violating marks programs that produced a confirmed
+	// contract violation. Both weight selection toward the entries most
+	// likely to reach interesting speculative behaviour again.
+	NewBits   int
+	Violating bool
+}
+
+// CorpusStrategy generates programs by mutating a frozen corpus of
+// coverage-novel programs. The engine freezes the corpus at every epoch
+// boundary: during epoch N the entries (and therefore the derivation of
+// every program) depend only on epochs < N, never on scheduling order.
+//
+// A fraction of programs remains freshly random (exploration); the rest are
+// derived from corpus entries by the program-level mutators in progmut.go
+// (splice, op/cond flip, window stretch, input-region reshuffle), with
+// violating entries weighted heavily — a program that already produced a
+// violation is the best predictor of finding more.
+type CorpusStrategy struct {
+	entries []CorpusEntry
+	weights []int // cumulative selection weights
+	total   int
+
+	// ExploreNum/ExploreDen is the fresh-random share. The constructor
+	// sets 1/2 while the corpus holds no violating entry and 1/4 once
+	// mutation has proven itself (see NewCorpusStrategy).
+	ExploreNum, ExploreDen int
+}
+
+// violatingWeight is the selection weight of a violating corpus entry
+// relative to weight-1 coverage-only entries.
+const violatingWeight = 8
+
+// NewCorpusStrategy builds a strategy over a frozen entry set. The entry
+// slice must not be mutated afterwards; it is shared read-only across every
+// worker of an epoch.
+//
+// The exploration share adapts to what the corpus has proven: once it holds
+// violating entries, mutation has demonstrated value and exploitation
+// dominates (explore 1/4); until then half the budget keeps exploring, so
+// on targets whose leaks are rare the strategy stays close to blind random
+// instead of over-committing to unproven mutants.
+func NewCorpusStrategy(entries []CorpusEntry) *CorpusStrategy {
+	s := &CorpusStrategy{entries: entries, ExploreNum: 1, ExploreDen: 2}
+	s.weights = make([]int, len(entries))
+	for i, e := range entries {
+		w := 1
+		if e.Violating {
+			w = violatingWeight
+			s.ExploreNum, s.ExploreDen = 1, 4
+		}
+		s.total += w
+		s.weights[i] = s.total
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (s *CorpusStrategy) Name() string { return "corpus" }
+
+// Len returns the corpus size.
+func (s *CorpusStrategy) Len() int { return len(s.entries) }
+
+// pick selects a corpus entry by weight from g's stream.
+func (s *CorpusStrategy) pick(g *Generator) *isa.Program {
+	r := g.rng.Intn(s.total)
+	for i, w := range s.weights {
+		if r < w {
+			return s.entries[i].Prog
+		}
+	}
+	return s.entries[len(s.entries)-1].Prog // unreachable
+}
+
+// NewProgram implements Strategy: with an empty corpus (epoch 0) it falls
+// back to pure random generation; otherwise it explores randomly some of
+// the time and mutates (or splices) corpus entries the rest.
+func (s *CorpusStrategy) NewProgram(g *Generator) *isa.Program {
+	if len(s.entries) == 0 {
+		return g.Program()
+	}
+	if g.rng.Intn(s.ExploreDen) < s.ExploreNum {
+		return g.Program()
+	}
+	base := s.pick(g)
+	if len(s.entries) > 1 && g.rng.Intn(4) == 0 {
+		other := s.pick(g)
+		if other != base {
+			return g.Splice(base, other)
+		}
+	}
+	return g.MutateProgram(base)
+}

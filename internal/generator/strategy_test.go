@@ -1,0 +1,159 @@
+package generator
+
+import "testing"
+
+// TestRandomStrategyBitForBit is the compatibility guarantee of the
+// strategy refactor: Random draws exactly the stream the monolithic
+// generator drew, so -strategy=random reproduces the seed campaigns
+// bit for bit (programs and the inputs generated after them).
+func TestRandomStrategyBitForBit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1234
+	direct, viaStrat := New(cfg), New(cfg)
+	var s Strategy = Random{}
+	for i := 0; i < 25; i++ {
+		p1, p2 := direct.Program(), s.NewProgram(viaStrat)
+		if p1.String() != p2.String() {
+			t.Fatalf("program %d diverges under Random strategy", i)
+		}
+		i1, i2 := direct.Input(), viaStrat.Input()
+		if i1.Regs != i2.Regs {
+			t.Fatalf("input %d diverges under Random strategy", i)
+		}
+	}
+}
+
+// corpusOf generates n random programs as corpus entries (every other one
+// marked violating, to exercise the weighting path).
+func corpusOf(t *testing.T, seed int64, n int) []CorpusEntry {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	g := New(cfg)
+	entries := make([]CorpusEntry, n)
+	for i := range entries {
+		entries[i] = CorpusEntry{Prog: g.Program(), NewBits: 1, Violating: i%2 == 0}
+	}
+	return entries
+}
+
+// TestCorpusStrategyEmptyFallsBackToRandom: with no corpus (epoch 0) the
+// corpus strategy is indistinguishable from blind generation.
+func TestCorpusStrategyEmptyFallsBackToRandom(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	g1, g2 := New(cfg), New(cfg)
+	s := NewCorpusStrategy(nil)
+	for i := 0; i < 10; i++ {
+		if g1.Program().String() != s.NewProgram(g2).String() {
+			t.Fatalf("empty-corpus strategy diverged from random at %d", i)
+		}
+	}
+}
+
+// TestCorpusStrategyDeterministic: the same frozen corpus and the same
+// generator seed produce the identical mutant sequence — the property the
+// engine's worker-count determinism rests on.
+func TestCorpusStrategyDeterministic(t *testing.T) {
+	entries := corpusOf(t, 9, 6)
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	g1, g2 := New(cfg), New(cfg)
+	s1, s2 := NewCorpusStrategy(entries), NewCorpusStrategy(entries)
+	for i := 0; i < 40; i++ {
+		p1, p2 := s1.NewProgram(g1), s2.NewProgram(g2)
+		if p1.String() != p2.String() {
+			t.Fatalf("corpus derivation diverges at %d:\n%s\nvs\n%s", i, p1, p2)
+		}
+	}
+}
+
+// TestCorpusStrategyProducesValidPrograms: every derivation — mutants,
+// splices, exploration — passes isa.Program validation and stays a DAG.
+func TestCorpusStrategyProducesValidPrograms(t *testing.T) {
+	entries := corpusOf(t, 3, 8)
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	g := New(cfg)
+	s := NewCorpusStrategy(entries)
+	mutated := 0
+	for i := 0; i < 300; i++ {
+		p := s.NewProgram(g)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("derivation %d invalid: %v\n%s", i, err, p)
+		}
+		for j, in := range p.Insts {
+			if in.Op.IsControl() && in.Target <= j {
+				t.Fatalf("derivation %d not a DAG at inst %d", i, j)
+			}
+		}
+		matchesEntry := false
+		for _, e := range entries {
+			if p.String() == e.Prog.String() {
+				matchesEntry = true
+			}
+		}
+		if !matchesEntry {
+			mutated++
+		}
+	}
+	if mutated == 0 {
+		t.Errorf("corpus strategy never derived a new program")
+	}
+}
+
+// TestProgramMutatorsDeterministic: each mutator, re-run from an identical
+// seed, yields an identical mutant sequence.
+func TestProgramMutatorsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 21
+	base := New(cfg).Program()
+	cfgB := cfg
+	cfgB.Seed = 22
+	other := New(cfgB).Program()
+	g1, g2 := New(cfg), New(cfg)
+	for i := 0; i < 50; i++ {
+		if g1.MutateProgram(base).String() != g2.MutateProgram(base).String() {
+			t.Fatalf("MutateProgram diverges at %d", i)
+		}
+		if g1.Splice(base, other).String() != g2.Splice(base, other).String() {
+			t.Fatalf("Splice diverges at %d", i)
+		}
+	}
+}
+
+// TestSpliceRespectsLengthBounds: offspring never exceed the configured
+// instruction budget (so corpus campaigns cost what random ones cost).
+func TestSpliceRespectsLengthBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 31
+	g := New(cfg)
+	a, b := g.Program(), g.Program()
+	for i := 0; i < 200; i++ {
+		q := g.Splice(a, b)
+		if q.Len() > cfg.MaxInsts {
+			t.Fatalf("splice %d produced %d insts (max %d)", i, q.Len(), cfg.MaxInsts)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("splice %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestMutateProgramDoesNotAliasBase: mutation must never write through to
+// the frozen corpus entry it derives from (entries are shared read-only
+// across workers).
+func TestMutateProgramDoesNotAliasBase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 41
+	g := New(cfg)
+	base := g.Program()
+	snapshot := base.String()
+	for i := 0; i < 100; i++ {
+		_ = g.MutateProgram(base)
+		_ = g.Splice(base, base)
+	}
+	if base.String() != snapshot {
+		t.Fatalf("mutation wrote through to the shared base program")
+	}
+}

@@ -51,6 +51,12 @@ type Core struct {
 	accessOrder []AccessRec
 	branchOrder []BranchRec
 
+	// cov, when non-nil, receives speculation-coverage features as the core
+	// simulates (see coverage.go); lastMemClass threads the previous
+	// data-access outcome into transition-edge features.
+	cov          *Coverage
+	lastMemClass uint64
+
 	ended    bool
 	endCycle uint64
 }
@@ -151,6 +157,7 @@ func (c *Core) ResetForInput(in *isa.Input) {
 	c.branchOrder = c.branchOrder[:0]
 	c.ended = false
 	c.endCycle = 0
+	c.lastMemClass = 0
 	c.Log.Reset()
 
 	// MSHRs, port blocks and pending fills do not survive the checkpoint
@@ -274,6 +281,7 @@ func (c *Core) resolveBranch(br *DynInst) bool {
 	c.stats.Mispredicts++
 	c.BP.Repair(br.HistAtPred, br.Taken)
 	c.Log.Add(c.cycle, br.Seq, br.PC, LogSquash, isa.PCOf(actualIdx))
+	c.cover(covSquash, br.PC, uint64(actualIdx))
 	c.squashYoungerThan(br.Seq, actualIdx)
 	return true
 }
@@ -304,6 +312,11 @@ func (c *Core) squashYoungerThan(seq uint64, redirectIdx int) {
 	extra := 0
 	if len(squashed) > 0 {
 		extra = c.def.OnSquash(squashed)
+		if extra > 0 {
+			// Defense cleanup work on the squash path (CleanupSpec's
+			// rollback): both the fact and its magnitude are signal.
+			c.cover(covDefense, hookSquashDelay, depthBucket(extra))
+		}
 	}
 	if c.fence != nil && c.fence.State == StSquashed {
 		c.fence = nil
@@ -384,6 +397,17 @@ func (c *Core) accessLines(in *DynInst, opts mem.DataAccessOpts) (res1, res2 mem
 	res1 = c.Hier.AccessData(c.cycle, in.EffAddr, opts)
 	if !res1.L1Hit {
 		c.stats.L1DMisses++
+	}
+	if c.cov != nil {
+		// Transition edge: (previous outcome → this outcome, fill sink) at
+		// this PC. Hit/miss patterns and where fills land are exactly the
+		// state a cache side channel modulates.
+		cls := memClass(res1.L1Hit, res1.L2Hit) | uint64(opts.Sink)<<2
+		c.cover(covMemEdge, in.PC, c.lastMemClass<<5|cls)
+		c.lastMemClass = cls
+		if opts.Sink == mem.SinkLFB {
+			c.cover(covLFB, in.PC, memClass(res1.L1Hit, res1.L2Hit))
+		}
 	}
 	if res1.FillID != 0 {
 		in.FillIDs = append(in.FillIDs, res1.FillID)
@@ -504,9 +528,26 @@ func (c *Core) tryIssueLoad(ld *DynInst) bool {
 		return false
 	}
 
-	spec := c.UnderShadow(ld)
+	spec := c.specAtIssue(ld, covSpecDepth, ld.PC)
 	ld.SpecAtIssue = spec
 	act := c.def.LoadAction(ld, spec)
+	if c.cov != nil {
+		if act.Delay {
+			c.cover(covDefense, hookLoadDelay, ld.PC)
+		}
+		if act.Sink != mem.SinkCache {
+			c.cover(covDefense, hookLoadSink|uint64(act.Sink)<<8, ld.PC)
+		}
+		if act.NoMSHR {
+			c.cover(covDefense, hookLoadNoMSHR, ld.PC)
+		}
+		if act.EvictOnMissFullSet {
+			c.cover(covDefense, hookLoadEvict, ld.PC)
+		}
+		if !act.UpdateLRU {
+			c.cover(covDefense, hookLoadNoLRU, ld.PC)
+		}
+	}
 	if act.Delay {
 		return false
 	}
@@ -517,6 +558,16 @@ func (c *Core) tryIssueLoad(ld *DynInst) bool {
 		if act.TLBInstall {
 			c.Log.Add(c.cycle, ld.Seq, ld.PC, LogTLBFill, ld.EffAddr)
 		}
+	}
+	if c.cov != nil {
+		tlbCls := uint64(0)
+		if !tlbHit {
+			tlbCls = 1
+			if act.TLBInstall {
+				tlbCls = 2 // miss that installed a translation
+			}
+		}
+		c.cover(covTLB, ld.PC, tlbCls)
 	}
 
 	kind := LogLoad
@@ -626,9 +677,20 @@ func (c *Core) tryIssueStore(st *DynInst, issued *int) (squashed bool) {
 		if p := st.Deps[0]; p != nil && p.State != StDone && p.State != StCommitted {
 			return false
 		}
-		spec := c.UnderShadow(st)
+		spec := c.specAtIssue(st, covSpecDepth, st.PC|1<<16)
 		st.SpecAtIssue = spec
 		act := c.def.StoreAction(st, spec)
+		if c.cov != nil {
+			if act.Delay {
+				c.cover(covDefense, hookStoreDelay, st.PC)
+			}
+			if act.PrefetchLine {
+				c.cover(covDefense, hookStorePrefetch, st.PC)
+			}
+			if spec && act.TLBAccess && act.TLBInstall {
+				c.cover(covDefense, hookStoreSpecTLB, st.PC)
+			}
+		}
 		if act.Delay {
 			return false
 		}
@@ -717,6 +779,7 @@ func (c *Core) checkMemOrderViolation(st *DynInst) bool {
 	c.stats.MemOrderViolations++
 	c.MD.TrainViolation(victim.PC)
 	c.Log.Add(c.cycle, victim.Seq, victim.PC, LogMOV, victim.EffAddr)
+	c.cover(covSquash, victim.PC|1<<16, uint64(victim.Idx))
 	c.squashYoungerThan(victim.Seq-1, victim.Idx)
 	return true
 }

@@ -1,0 +1,118 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/testgadget"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+func TestCoverageBitmapBasics(t *testing.T) {
+	a, b := uarch.NewCoverage(), uarch.NewCoverage()
+	if !a.Empty() || a.Count() != 0 {
+		t.Fatalf("fresh map not empty")
+	}
+	if a.Merge(b) != 0 {
+		t.Errorf("merging two empty maps reported new bits")
+	}
+	if a.Digest() != b.Digest() {
+		t.Errorf("empty maps have different digests")
+	}
+}
+
+// coverageOfSpectreRun runs the Spectre-v1 gadget on a fresh core with a
+// coverage map attached and returns the map.
+func coverageOfSpectreRun(t *testing.T, secretOfs uint64) *uarch.Coverage {
+	t.Helper()
+	sb := isa.Sandbox{Pages: 1}
+	prog := testgadget.SpectreV1RegSecret(8)
+	in := testgadget.BoundsInput(sb)
+	in.Regs[9] = secretOfs
+
+	core := uarch.NewCore(uarch.DefaultConfig(), nil)
+	cov := uarch.NewCoverage()
+	core.SetCoverage(cov)
+	testgadget.Run(core, prog, sb, in, testgadget.PrimeInvalidate)
+	return cov
+}
+
+// TestCoverageRecordsSpeculativeBehaviour: a mispredicting gadget lights up
+// features (squash, spec-depth, memory edges); the map is deterministic for
+// identical runs and differs when the transient access pattern differs.
+func TestCoverageRecordsSpeculativeBehaviour(t *testing.T) {
+	covA := coverageOfSpectreRun(t, 0x100)
+	if covA.Empty() {
+		t.Fatalf("no coverage recorded for a mispredicting gadget")
+	}
+	covA2 := coverageOfSpectreRun(t, 0x100)
+	if covA.Digest() != covA2.Digest() {
+		t.Errorf("identical runs produced different coverage digests")
+	}
+	if covA.NewBits(covA2) != 0 || covA2.NewBits(covA) != 0 {
+		t.Errorf("identical runs produced different feature sets")
+	}
+}
+
+// TestCoverageDisabledByDefault: without SetCoverage nothing is recorded
+// and the core behaves identically (same end cycle, same stats).
+func TestCoverageDisabledByDefault(t *testing.T) {
+	sb := isa.Sandbox{Pages: 1}
+	prog := testgadget.SpectreV1RegSecret(8)
+	mk := func(withCov bool) (uarch.Stats, uint64) {
+		in := testgadget.BoundsInput(sb)
+		in.Regs[9] = 0x100
+		core := uarch.NewCore(uarch.DefaultConfig(), nil)
+		if withCov {
+			core.SetCoverage(uarch.NewCoverage())
+		}
+		snap := testgadget.Run(core, prog, sb, in, testgadget.PrimeInvalidate)
+		return snap.Stats, core.EndCycle()
+	}
+	sOff, cOff := mk(false)
+	sOn, cOn := mk(true)
+	if sOff != sOn || cOff != cOn {
+		t.Errorf("coverage collection perturbed the simulation: %+v/%d vs %+v/%d",
+			sOff, cOff, sOn, cOn)
+	}
+}
+
+// TestCoverageMergeAccounting: Merge reports exactly the receiver's missing
+// bits and is idempotent.
+func TestCoverageMergeAccounting(t *testing.T) {
+	covA := coverageOfSpectreRun(t, 0x100)
+	covB := coverageOfSpectreRun(t, 0x900) // different transient line
+
+	global := uarch.NewCoverage()
+	firstNew := global.Merge(covA)
+	if firstNew != covA.Count() {
+		t.Errorf("first merge: %d new bits, want %d", firstNew, covA.Count())
+	}
+	if global.Merge(covA) != 0 {
+		t.Errorf("re-merging the same map reported new bits")
+	}
+	wantNew := global.NewBits(covB)
+	if got := global.Merge(covB); got != wantNew {
+		t.Errorf("NewBits predicted %d, Merge added %d", wantNew, got)
+	}
+	if global.Count() == 0 || global.Count() > uarch.CoverageBits {
+		t.Errorf("implausible global count %d", global.Count())
+	}
+}
+
+// TestCoverageClone: clones are deep — mutating the clone leaves the
+// original untouched.
+func TestCoverageClone(t *testing.T) {
+	cov := coverageOfSpectreRun(t, 0x100)
+	clone := cov.Clone()
+	if clone.Digest() != cov.Digest() {
+		t.Fatalf("clone differs from original")
+	}
+	clone.Reset()
+	if cov.Empty() {
+		t.Errorf("resetting the clone cleared the original")
+	}
+	if !clone.Empty() {
+		t.Errorf("reset clone not empty")
+	}
+}
