@@ -57,7 +57,7 @@ func main() {
 	fmt.Printf("=== contract trace (%s, %d observations, hash %#x) ===\n%s\n\n",
 		spec.Contract.Name, len(ctrace), ctrace.Hash(), ctrace)
 	fmt.Printf("architecturally loaded bytes: %d; live-in registers: %#x\n\n",
-		len(usage.LoadedBytes), usage.LiveInRegs)
+		usage.LoadedCount(), usage.LiveInRegs)
 
 	core := uarch.NewCore(uarch.DefaultConfig(), spec.Factory())
 	if err := core.LoadTest(prog, sb); err != nil {

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -66,8 +68,33 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the campaign/experiment after this duration, reporting partial results (0 = no limit)")
 		strategy   = flag.String("strategy", engine.StrategyRandom, "generation strategy: random (blind, the paper's setup) or corpus (coverage-guided epochs)")
 		epochs     = flag.Int("epochs", 0, "corpus-strategy epochs (0 = default); each epoch mutates the corpus frozen by the previous one")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profiling hooks: campaigns are the hot-path workload, so regressions
+	// in the simulation loop are diagnosed by profiling a real run instead
+	// of editing code. The stop/write happens on every normal return path
+	// (including the partial-result exit) via the deferred flush.
+	exitCode := 0
+	memProfilePath = *memprofile
+	defer func() {
+		flushProfiles()
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfileFile = f
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -153,7 +180,7 @@ func main() {
 		// Cancellation and unit failures alike: report what was collected.
 		fmt.Printf("campaign incomplete (%v); partial results:\n", err)
 		if hasNonContextError(err) {
-			defer os.Exit(1) // real failure: partial output, failing exit code
+			exitCode = 1 // real failure: partial output, failing exit code
 		}
 	}
 	printSummary(res)
@@ -324,7 +351,40 @@ func hasNonContextError(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
+// cpuProfileFile is the open -cpuprofile destination, nil when disabled;
+// memProfilePath is the -memprofile destination, empty when disabled.
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+)
+
+// flushProfiles stops the CPU profile and writes the heap profile. It runs
+// deferred from main and from fatal, so both profiles land on every exit
+// path — including error exits, where a profile of the aborted run is
+// exactly what the flags exist to capture.
+func flushProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+		cpuProfileFile = nil
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		memProfilePath = ""
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amulet: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "amulet: memprofile:", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "amulet:", err)
 	os.Exit(1)
 }

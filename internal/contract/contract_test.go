@@ -137,7 +137,7 @@ func TestUsageTracksLoadedBytesAndLiveRegs(t *testing.T) {
 	_, usage := md.Collect(in)
 
 	for k := uint64(0); k < 8; k++ {
-		if !usage.LoadedBytes[k] {
+		if !usage.Loaded(k) {
 			t.Errorf("byte %d loaded architecturally but not tracked", k)
 		}
 	}
@@ -165,7 +165,7 @@ func TestUsageClobberedBytesNotLoaded(t *testing.T) {
 	md := NewModel(CTSeq, p, sb)
 	_, usage := md.Collect(isa.NewInput(sb))
 	for k := uint64(64); k < 72; k++ {
-		if usage.LoadedBytes[k] {
+		if usage.Loaded(k) {
 			t.Errorf("clobbered-then-loaded byte %d marked as loaded", k)
 		}
 	}

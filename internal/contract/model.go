@@ -1,6 +1,8 @@
 package contract
 
 import (
+	"math/bits"
+
 	"github.com/sith-lab/amulet-go/internal/emu"
 	"github.com/sith-lab/amulet-go/internal/isa"
 )
@@ -10,24 +12,72 @@ import (
 // that cannot influence the contract trace (AMuLeT's contract-preserving
 // input mutation): memory bytes never loaded and registers never read
 // before being written are free to vary.
+//
+// Byte-level tracking uses dense bitsets over the sandbox offset space
+// (one bit per byte) instead of hash maps: the model marks bytes on every
+// architectural load and store, and the mutator probes membership for every
+// candidate byte, so both sides of the hot loop become branch-free word
+// operations with no per-entry allocation.
 type Usage struct {
-	// LoadedBytes marks sandbox offsets whose *initial* value was read by an
+	// loaded marks sandbox offsets whose *initial* value was read by an
 	// architectural load, i.e. offsets loaded before any architectural store
 	// clobbered them. Offsets that are stored first and only read afterwards
 	// are not recorded: their initial content never reaches the
 	// architectural data flow, which is exactly what makes them usable as
 	// Spectre-v4 secrets.
-	LoadedBytes map[uint64]bool
+	loaded []uint64
 	// clobbered marks offsets overwritten by an architectural store.
-	clobbered map[uint64]bool
+	clobbered []uint64
 	// LiveInRegs is a bitmask of registers read on the architectural path
 	// before being written.
 	LiveInRegs uint16
 }
 
-// NewUsage returns an empty usage summary.
-func NewUsage() *Usage {
-	return &Usage{LoadedBytes: make(map[uint64]bool), clobbered: make(map[uint64]bool)}
+// NewUsage returns an empty usage summary for sandbox sb.
+func NewUsage(sb isa.Sandbox) *Usage {
+	words := (sb.Size() + 63) / 64
+	return &Usage{loaded: make([]uint64, words), clobbered: make([]uint64, words)}
+}
+
+// Reset clears the summary for reuse across inputs.
+func (u *Usage) Reset() {
+	clear(u.loaded)
+	clear(u.clobbered)
+	u.LiveInRegs = 0
+}
+
+// Loaded reports whether the initial byte at sandbox offset off was
+// consumed by an architectural load.
+func (u *Usage) Loaded(off uint64) bool {
+	return u.loaded[off/64]&(1<<(off%64)) != 0
+}
+
+// LoadedCount returns the number of architecturally loaded bytes.
+func (u *Usage) LoadedCount() int {
+	n := 0
+	for _, w := range u.loaded {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CopyLoaded copies src[off] to dst[off] for every architecturally loaded
+// offset — the mutator's "restore the contract-visible bytes" fast path.
+// Words with no loaded bit are skipped entirely.
+func (u *Usage) CopyLoaded(dst, src []byte) {
+	for wi, w := range u.loaded {
+		for w != 0 {
+			off := uint64(wi*64 + bits.TrailingZeros64(w))
+			dst[off] = src[off]
+			w &= w - 1
+		}
+	}
+}
+
+func (u *Usage) markLoaded(off uint64)    { u.loaded[off/64] |= 1 << (off % 64) }
+func (u *Usage) markClobbered(off uint64) { u.clobbered[off/64] |= 1 << (off % 64) }
+func (u *Usage) isClobbered(off uint64) bool {
+	return u.clobbered[off/64]&(1<<(off%64)) != 0
 }
 
 // RegLiveIn reports whether register r was consumed before being defined.
@@ -45,6 +95,7 @@ type Model struct {
 	// per-run state
 	trace   Trace
 	usage   *Usage
+	track   bool // record usage for this run (Collect yes, CollectTrace no)
 	depth   int
 	written uint16 // registers defined so far on the arch path
 }
@@ -55,7 +106,7 @@ const MaxSteps = 4096
 
 // NewModel builds a leakage model for program p under contract c.
 func NewModel(c Contract, p *isa.Program, sb isa.Sandbox) *Model {
-	md := &Model{C: c, prog: p, sb: sb}
+	md := &Model{C: c, prog: p, sb: sb, usage: NewUsage(sb)}
 	md.m = emu.New(p, sb, isa.NewInput(sb))
 	md.m.Hooks = emu.Hooks{
 		OnPC:    md.onPC,
@@ -66,11 +117,34 @@ func NewModel(c Contract, p *isa.Program, sb isa.Sandbox) *Model {
 }
 
 // Collect executes the test case (p, in) under the contract and returns the
-// contract trace together with the architectural usage summary.
+// contract trace together with the architectural usage summary. The Usage
+// is a buffer owned by the model, reset and rewritten by the next Collect
+// call; callers that need it longer (none do — the mutator verifies mutants
+// through CollectTrace) must copy it.
 func (md *Model) Collect(in *isa.Input) (Trace, *Usage) {
+	md.run(in, true)
+	out := make(Trace, len(md.trace))
+	copy(out, md.trace)
+	return out, md.usage
+}
+
+// CollectTrace executes the test case and returns only its contract trace,
+// skipping usage tracking. The returned trace is a buffer owned by the
+// model, valid until the next Collect/CollectTrace call — it exists for the
+// mutation-verification loop, which only compares the trace against the
+// base input's and drops it.
+func (md *Model) CollectTrace(in *isa.Input) Trace {
+	md.run(in, false)
+	return md.trace
+}
+
+func (md *Model) run(in *isa.Input, track bool) {
 	md.m.LoadInput(in)
 	md.trace = md.trace[:0]
-	md.usage = NewUsage()
+	md.track = track
+	if track {
+		md.usage.Reset()
+	}
 	md.depth = 0
 	md.written = 0
 
@@ -80,10 +154,6 @@ func (md *Model) Collect(in *isa.Input) (Trace, *Usage) {
 		}
 	}
 	md.runArch()
-
-	out := make(Trace, len(md.trace))
-	copy(out, md.trace)
-	return out, md.usage
 }
 
 // runArch executes the architectural path to completion, forking a
@@ -136,7 +206,7 @@ func (md *Model) runSpec(window int) {
 // trackUsage records register/memory liveness for the instruction about to
 // execute, on the architectural path only.
 func (md *Model) trackUsage() {
-	if md.depth != 0 {
+	if md.depth != 0 || !md.track {
 		return
 	}
 	in := md.m.CurInst()
@@ -185,14 +255,14 @@ func (md *Model) onLoad(pc, addr uint64, size uint8, val uint64) {
 	if md.C.ObserveLoadVal {
 		md.trace = append(md.trace, Obs{Kind: ObsLoadVal, V: val})
 	}
-	if md.depth == 0 {
+	if md.depth == 0 && md.track {
 		// Record every byte whose initial content the architectural load
 		// consumed. Bytes already clobbered by an older store carry program
 		// data, not input data.
 		for k := uint8(0); k < size; k++ {
 			off := (md.sb.ByteAddr(addr, k) - isa.DataBase) & md.sb.Mask()
-			if !md.usage.clobbered[off] {
-				md.usage.LoadedBytes[off] = true
+			if !md.usage.isClobbered(off) {
+				md.usage.markLoaded(off)
 			}
 		}
 	}
@@ -202,10 +272,10 @@ func (md *Model) onStore(pc, addr uint64, size uint8, val uint64) {
 	if md.C.ObserveMemAddr {
 		md.trace = append(md.trace, Obs{Kind: ObsStoreAddr, V: addr})
 	}
-	if md.depth == 0 {
+	if md.depth == 0 && md.track {
 		for k := uint8(0); k < size; k++ {
 			off := (md.sb.ByteAddr(addr, k) - isa.DataBase) & md.sb.Mask()
-			md.usage.clobbered[off] = true
+			md.usage.markClobbered(off)
 		}
 	}
 }

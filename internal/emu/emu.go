@@ -79,7 +79,7 @@ func (m *Machine) LoadInput(in *isa.Input) {
 	m.steps = 0
 	m.Mem.SetBytes(in.Mem)
 	m.checkpoints = m.checkpoints[:0]
-	m.journal = nil
+	m.journal = m.journal[:0]
 }
 
 // Done reports whether the program has exited.

@@ -137,6 +137,18 @@ type Executor struct {
 	reuseBoot bool
 	bootCP    *uarch.UarchState
 
+	// valCP is the reusable context checkpoint of the validation replays:
+	// every µarch-trace mismatch saves a full cache/TLB/predictor copy, so
+	// the buffers are recycled instead of reallocated per validation.
+	valCP *uarch.UarchState
+
+	// traceFree recycles UTrace objects (and their snapshot buffers). Run
+	// pops one per test case; the fuzzer hands traces back via ReleaseTrace
+	// once a contract-equivalence class is compared, so the steady-state
+	// execute→compare loop reuses a small working set of traces instead of
+	// allocating cache-snapshot-sized buffers per case.
+	traceFree []*UTrace
+
 	met Metrics
 }
 
@@ -238,15 +250,20 @@ func (e *Executor) RunValidationPair(a, b *isa.Input) (trA, trB *UTrace, err err
 	if e.prog == nil {
 		return nil, nil, fmt.Errorf("executor: RunValidationPair before LoadProgram")
 	}
-	if _, err := e.runOnce(a); err != nil {
+	warm, err := e.runOnce(a)
+	if err != nil {
 		return nil, nil, err
 	}
-	ctx := e.core.SaveUarch()
+	e.ReleaseTrace(warm)
+	if e.valCP == nil {
+		e.valCP = &uarch.UarchState{}
+	}
+	e.core.SaveUarchInto(e.valCP)
 	trA, err = e.runOnce(a)
 	if err != nil {
 		return nil, nil, err
 	}
-	e.core.RestoreUarch(ctx)
+	e.core.RestoreUarch(e.valCP)
 	trB, err = e.runOnce(b)
 	if err != nil {
 		return nil, nil, err
@@ -281,9 +298,11 @@ func (e *Executor) RunLoggedPair(a, b *isa.Input) (logA, logB []uarch.LogRec, tr
 	if !e.started {
 		e.startup()
 	}
-	if _, err := e.runOnce(a); err != nil {
+	warm, err := e.runOnce(a)
+	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	e.ReleaseTrace(warm)
 	ctx := e.core.SaveUarch()
 	e.core.Log.Enabled = true
 	defer func() { e.core.Log.Enabled = false }()
@@ -450,23 +469,45 @@ func (e *Executor) prime() {
 	}
 }
 
-// extract builds the µarch trace in the configured format.
+// extract builds the µarch trace in the configured format, reusing a
+// recycled trace (and its snapshot buffers) when one is available.
 func (e *Executor) extract() *UTrace {
-	tr := &UTrace{Format: e.cfg.Format, EndCycle: e.core.EndCycle()}
+	var tr *UTrace
+	if n := len(e.traceFree); n > 0 {
+		tr = e.traceFree[n-1]
+		e.traceFree = e.traceFree[:n-1]
+	} else {
+		tr = &UTrace{}
+	}
+	tr.Format = e.cfg.Format
+	tr.EndCycle = e.core.EndCycle()
 	switch e.cfg.Format {
 	case FormatL1DTLB:
-		tr.L1D = e.core.Hier.L1D.Snapshot()
-		tr.TLB = e.core.Hier.DTLB.Snapshot()
+		tr.L1D = e.core.Hier.L1D.SnapshotInto(tr.L1D[:0])
+		tr.TLB = e.core.Hier.DTLB.SnapshotInto(tr.TLB[:0])
 	case FormatL1DTLBL1I:
-		tr.L1D = e.core.Hier.L1D.Snapshot()
-		tr.TLB = e.core.Hier.DTLB.Snapshot()
-		tr.L1I = e.core.Hier.L1I.Snapshot()
+		tr.L1D = e.core.Hier.L1D.SnapshotInto(tr.L1D[:0])
+		tr.TLB = e.core.Hier.DTLB.SnapshotInto(tr.TLB[:0])
+		tr.L1I = e.core.Hier.L1I.SnapshotInto(tr.L1I[:0])
 	case FormatBPState:
 		tr.BPDigest = e.core.BP.Snapshot()
 	case FormatMemOrder:
-		tr.MemOrder = append([]uarch.AccessRec(nil), e.core.AccessOrder()...)
+		tr.MemOrder = append(tr.MemOrder[:0], e.core.AccessOrder()...)
 	case FormatBranchOrder:
-		tr.BranchOrder = append([]uarch.BranchRec(nil), e.core.BranchOrder()...)
+		tr.BranchOrder = append(tr.BranchOrder[:0], e.core.BranchOrder()...)
 	}
 	return tr
+}
+
+// ReleaseTrace returns a trace obtained from Run/RunFresh/RunValidationPair
+// to the executor's recycle list. Callers that are done comparing a trace
+// (and do not retain it in a violation report) hand it back so the next
+// test case reuses its buffers; releasing nil is a no-op. A released trace
+// must no longer be read.
+func (e *Executor) ReleaseTrace(tr *UTrace) {
+	if tr == nil {
+		return
+	}
+	tr.reset()
+	e.traceFree = append(e.traceFree, tr)
 }

@@ -7,7 +7,8 @@ package executor
 
 import (
 	"fmt"
-	"hash/fnv"
+	"slices"
+	"strconv"
 	"strings"
 
 	"github.com/sith-lab/amulet-go/internal/uarch"
@@ -62,47 +63,87 @@ type UTrace struct {
 	BranchOrder []uarch.BranchRec
 
 	EndCycle uint64 // not part of equality; kept for analysis
+
+	// hash memoizes Hash(): traces are extracted once and then compared
+	// against every other trace of their contract-equivalence class, so the
+	// digest is computed at most once per trace. reset() clears it.
+	hash     uint64
+	hashDone bool
 }
 
-// Hash returns a digest for fast grouping.
+// Hash returns a digest for fast grouping and hash-first comparison. The
+// digest is computed once and cached; traces are immutable once extracted.
 func (t *UTrace) Hash() uint64 {
-	h := fnv.New64a()
-	w := func(v uint64) {
-		var b [8]byte
-		for i := 0; i < 8; i++ {
-			b[i] = byte(v >> (8 * i))
-		}
-		h.Write(b[:])
+	if !t.hashDone {
+		t.hash = t.computeHash()
+		t.hashDone = true
 	}
-	w(uint64(t.Format))
+	return t.hash
+}
+
+// computeHash chains the splitmix64 finalizer over every word of attacker-
+// visible state. Section lengths are mixed in as separators so sections
+// cannot alias each other.
+func (t *UTrace) computeHash() uint64 {
+	h := uarch.Mix64(uint64(t.Format) + 1)
+	mix := func(v uint64) { h = uarch.Mix64(h ^ v) }
+	mix(uint64(len(t.L1D)))
 	for _, v := range t.L1D {
-		w(v)
+		mix(v)
 	}
-	w(^uint64(0))
+	mix(uint64(len(t.TLB)))
 	for _, v := range t.TLB {
-		w(v)
+		mix(v)
 	}
-	w(^uint64(0))
+	mix(uint64(len(t.L1I)))
 	for _, v := range t.L1I {
-		w(v)
+		mix(v)
 	}
-	w(t.BPDigest)
+	mix(t.BPDigest)
+	mix(uint64(len(t.MemOrder)))
 	for _, a := range t.MemOrder {
-		w(a.PC)
-		w(a.Addr)
+		mix(a.PC)
+		v := a.Addr << 1
 		if a.Store {
-			w(1)
+			v |= 1
 		}
+		mix(v)
 	}
-	w(^uint64(0))
+	mix(uint64(len(t.BranchOrder)))
 	for _, b := range t.BranchOrder {
-		w(b.PC)
-		w(b.Target)
+		mix(b.PC)
+		v := b.Target << 1
 		if b.PredTaken {
-			w(1)
+			v |= 1
 		}
+		mix(v)
 	}
-	return h.Sum64()
+	return h
+}
+
+// reset clears the trace for reuse, keeping the slice capacities.
+func (t *UTrace) reset() {
+	t.Format = 0
+	t.L1D = t.L1D[:0]
+	t.TLB = t.TLB[:0]
+	t.L1I = t.L1I[:0]
+	t.BPDigest = 0
+	t.MemOrder = t.MemOrder[:0]
+	t.BranchOrder = t.BranchOrder[:0]
+	t.EndCycle = 0
+	t.hash = 0
+	t.hashDone = false
+}
+
+// Differs reports whether two traces expose different attacker
+// observations, comparing digests first: unequal digests prove a
+// difference without walking the traces, and equal digests fall back to
+// the exact Equal walk so a hash collision can never hide a violation.
+func (t *UTrace) Differs(u *UTrace) bool {
+	if t.Hash() != u.Hash() {
+		return true
+	}
+	return !t.Equal(u)
 }
 
 // Equal reports whether two traces expose identical attacker observations.
@@ -214,30 +255,67 @@ func diffOrder(b *strings.Builder, name string, la, lb int, at func(int) (string
 	}
 }
 
+// setDiff returns the elements only in a and only in b via a sorted merge
+// walk — snapshot sections are produced sorted, so no maps or re-sorting
+// are needed. Unsorted inputs (hand-built traces in tests) are sorted into
+// scratch copies first.
 func setDiff(a, b []uint64) (onlyA, onlyB []uint64) {
-	inB := make(map[uint64]bool, len(b))
-	for _, v := range b {
-		inB[v] = true
-	}
-	inA := make(map[uint64]bool, len(a))
-	for _, v := range a {
-		inA[v] = true
-		if !inB[v] {
-			onlyA = append(onlyA, v)
+	a = sortedOrCopy(a)
+	b = sortedOrCopy(b)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			// Skip duplicate runs on both sides so multiset differences
+			// degrade to the same set semantics the map version had.
+			v := a[i]
+			for i < len(a) && a[i] == v {
+				i++
+			}
+			for j < len(b) && b[j] == v {
+				j++
+			}
+		case a[i] < b[j]:
+			onlyA = appendUnique(onlyA, a[i])
+			i++
+		default:
+			onlyB = appendUnique(onlyB, b[j])
+			j++
 		}
 	}
-	for _, v := range b {
-		if !inA[v] {
-			onlyB = append(onlyB, v)
-		}
+	for ; i < len(a); i++ {
+		onlyA = appendUnique(onlyA, a[i])
+	}
+	for ; j < len(b); j++ {
+		onlyB = appendUnique(onlyB, b[j])
 	}
 	return onlyA, onlyB
 }
 
-func hexList(vs []uint64) string {
-	parts := make([]string, len(vs))
-	for i, v := range vs {
-		parts[i] = fmt.Sprintf("%#x", v)
+func sortedOrCopy(vs []uint64) []uint64 {
+	if slices.IsSorted(vs) {
+		return vs
 	}
-	return strings.Join(parts, " ")
+	c := append([]uint64(nil), vs...)
+	slices.Sort(c)
+	return c
+}
+
+func appendUnique(out []uint64, v uint64) []uint64 {
+	if n := len(out); n > 0 && out[n-1] == v {
+		return out
+	}
+	return append(out, v)
+}
+
+func hexList(vs []uint64) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString("0x")
+		b.WriteString(strconv.FormatUint(v, 16))
+	}
+	return b.String()
 }

@@ -1,0 +1,73 @@
+package experiments_test
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/engine"
+	"github.com/sith-lab/amulet-go/internal/experiments"
+	"github.com/sith-lab/amulet-go/internal/fuzzer"
+)
+
+// violationFingerprint digests the full violation set of a campaign —
+// defense, program index, contract-trace hash, and the exact bytes of both
+// violating inputs — in aggregation order. Identical fingerprints mean
+// identical violation sets bit for bit.
+func violationFingerprint(vs []*fuzzer.Violation) uint64 {
+	h := fnv.New64a()
+	for _, v := range vs {
+		fmt.Fprintf(h, "%s|%d|%x|", v.Defense, v.ProgramIndex, v.CTrace.Hash())
+		for _, r := range v.InputA.Regs {
+			fmt.Fprintf(h, "%x,", r)
+		}
+		h.Write(v.InputA.Mem)
+		for _, r := range v.InputB.Regs {
+			fmt.Fprintf(h, "%x,", r)
+		}
+		h.Write(v.InputB.Mem)
+	}
+	return h.Sum64()
+}
+
+// TestViolationSetDeterminism pins the campaign outcome of a fixed seed to
+// golden fingerprints captured before the allocation-free hot-path rewrite
+// (scratch arenas, bitset usage tracking, fill-queue heap, hash-first trace
+// comparison). It fails if any optimization — present or future — shifts a
+// single violating input byte, and it runs the same budget at two worker
+// counts to hold the engine's schedule-independence contract at the same
+// time.
+func TestViolationSetDeterminism(t *testing.T) {
+	golden := []struct {
+		defense     string
+		violations  int
+		fingerprint uint64
+	}{
+		{"baseline", 12, 0x55a5d1a9d682b04e},
+		{"cleanupspec", 7, 0x48247748e3b51f39},
+		{"invisispec", 11, 0xddcf84005802af1c},
+	}
+	for _, g := range golden {
+		for _, workers := range []int{1, 4} {
+			spec, err := experiments.DefenseByName(g.defense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+			ccfg := experiments.CampaignConfig(spec, sc)
+			res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != g.violations {
+				t.Errorf("%s workers=%d: %d violations, want %d",
+					g.defense, workers, len(res.Violations), g.violations)
+			}
+			if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
+				t.Errorf("%s workers=%d: violation-set fingerprint %#x, want %#x",
+					g.defense, workers, fp, g.fingerprint)
+			}
+		}
+	}
+}

@@ -387,8 +387,18 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 
 	found := false
 	violations := 0
+	// traces is the per-class trace scratch; every trace in it goes back to
+	// the executor's recycle list once the class has been compared (the
+	// violation report only retains the validation replay's traces).
+	maxClass := 0
 	for _, cls := range pc.Classes {
-		var traces []*executor.UTrace
+		if len(cls.Inputs) > maxClass {
+			maxClass = len(cls.Inputs)
+		}
+	}
+	traces := make([]*executor.UTrace, 0, maxClass)
+	for _, cls := range pc.Classes {
+		traces = traces[:0]
 		for _, in := range cls.Inputs {
 			if err := ctx.Err(); err != nil {
 				return found, err
@@ -400,10 +410,13 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 			res.TestCases++
 			traces = append(traces, tr)
 		}
-		if violations >= cfg.MaxViolationsPerProgram {
-			continue
+		i, j, differ := 0, 0, false
+		if violations < cfg.MaxViolationsPerProgram {
+			i, j, differ = firstDiffPair(traces)
 		}
-		i, j, differ := firstDiffPair(traces)
+		for _, tr := range traces {
+			exec.ReleaseTrace(tr)
+		}
 		if !differ {
 			continue
 		}
@@ -437,9 +450,12 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 }
 
 // firstDiffPair returns the indices of the first differing trace pair.
+// Comparison is hash-first (cached digests), falling back to the exact
+// Equal walk only when digests match, so the common all-equal class costs
+// one digest per trace instead of a full pairwise trace walk.
 func firstDiffPair(traces []*executor.UTrace) (int, int, bool) {
 	for i := 1; i < len(traces); i++ {
-		if !traces[0].Equal(traces[i]) {
+		if traces[0].Differs(traces[i]) {
 			return 0, i, true
 		}
 	}
@@ -450,7 +466,8 @@ func firstDiffPair(traces []*executor.UTrace) (int, int, bool) {
 // micro-architectural context. Only a persisting difference is a real
 // input-dependent leak; differences caused by the different predictor
 // state the Opt strategy carried into the two original runs disappear here
-// (paper §3.2, validation of AMuLeT-Opt violations).
+// (paper §3.2, validation of AMuLeT-Opt violations). Traces of replays
+// that do not confirm a violation are recycled.
 func validatePair(exec *executor.Executor, a, b *isa.Input, res *Result) (bool, *executor.UTrace, *executor.UTrace, error) {
 	res.ValidationRuns++
 	trA, trB, err := exec.RunValidationPair(a, b)
@@ -459,6 +476,8 @@ func validatePair(exec *executor.Executor, a, b *isa.Input, res *Result) (bool, 
 	}
 	res.TestCases += 3
 	if trA.Equal(trB) {
+		exec.ReleaseTrace(trA)
+		exec.ReleaseTrace(trB)
 		return false, nil, nil, nil
 	}
 	return true, trA, trB, nil

@@ -13,8 +13,9 @@ import (
 // test case. The randomized state is the "secret" whose micro-architectural
 // visibility the fuzzer then checks.
 type Mutator struct {
-	rng *rand.Rand
-	buf []byte // scratch for bulk randomization
+	rng  *rand.Rand
+	buf  []byte     // scratch for bulk randomization
+	cand *isa.Input // reusable candidate; cloned only when a mutant verifies
 
 	// MutateRegs also randomizes registers that are dead on the
 	// architectural path. Register-borne secrets are what single-load
@@ -43,18 +44,24 @@ func (m *Mutator) Mutate(model *contract.Model, base *isa.Input, usage *contract
 	if len(m.buf) != len(base.Mem) {
 		m.buf = make([]byte, len(base.Mem))
 	}
+	if m.cand == nil || len(m.cand.Mem) != len(base.Mem) {
+		m.cand = &isa.Input{Mem: make([]byte, len(base.Mem))}
+	}
 	for _, scope := range scopes {
-		cand := base.Clone()
+		// Each scope starts from a fresh copy of the base in the reusable
+		// candidate; only a verified mutant is cloned out (it is retained in
+		// the input class), so rejected attempts allocate nothing.
+		cand := m.cand
+		cand.Regs = base.Regs
+		copy(cand.Mem, base.Mem)
 		changed := false
 		if scope == 1.0 {
 			// Fast path: bulk-randomize the whole sandbox, then restore the
 			// contract-visible bytes from the base input.
 			m.rng.Read(m.buf)
 			copy(cand.Mem, m.buf)
-			for off := range usage.LoadedBytes {
-				cand.Mem[off] = base.Mem[off]
-			}
-			changed = len(usage.LoadedBytes) < len(cand.Mem)
+			usage.CopyLoaded(cand.Mem, base.Mem)
+			changed = usage.LoadedCount() < len(cand.Mem)
 		} else {
 			n := int(float64(len(cand.Mem)) * scope)
 			if n < 1 {
@@ -62,7 +69,7 @@ func (m *Mutator) Mutate(model *contract.Model, base *isa.Input, usage *contract
 			}
 			for k := 0; k < n; k++ {
 				off := uint64(m.rng.Intn(len(cand.Mem)))
-				if usage.LoadedBytes[off] {
+				if usage.Loaded(off) {
 					continue
 				}
 				cand.Mem[off] = byte(m.rng.Intn(256))
@@ -84,9 +91,11 @@ func (m *Mutator) Mutate(model *contract.Model, base *isa.Input, usage *contract
 		if !changed {
 			continue
 		}
-		trace, _ := model.Collect(cand)
-		if trace.Equal(baseTrace) {
-			return cand, true
+		// CollectTrace skips usage tracking (not needed to verify a mutant)
+		// and leaves the caller's base usage untouched; the returned trace
+		// is the model's scratch buffer, compared and dropped right here.
+		if model.CollectTrace(cand).Equal(baseTrace) {
+			return cand.Clone(), true
 		}
 	}
 	return nil, false

@@ -14,7 +14,11 @@
 // before every x86 memory access.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Reg names one of the 16 general-purpose 64-bit registers R0..R15.
 type Reg uint8
@@ -22,8 +26,18 @@ type Reg uint8
 // NumRegs is the number of architectural general-purpose registers.
 const NumRegs = 16
 
+var regNames = [NumRegs]string{
+	"R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+	"R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+}
+
 // String returns the assembler name of the register ("R0".."R15").
-func (r Reg) String() string { return fmt.Sprintf("R%d", uint8(r)) }
+func (r Reg) String() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return "R" + strconv.Itoa(int(r))
+}
 
 // Valid reports whether r names an architectural register.
 func (r Reg) Valid() bool { return r < NumRegs }
@@ -216,35 +230,98 @@ func IndexOf(pc uint64) (int, bool) {
 // ReadsFlags reports whether the instruction consumes the flags register.
 func (in Inst) ReadsFlags() bool { return in.Op == OpBranch || in.Op == OpCmov }
 
-// String renders the instruction in assembler syntax.
+// String renders the instruction in assembler syntax. It is built with
+// strconv instead of fmt so that rendering a gadget for a violation report
+// (or an error) costs no reflection-driven formatting; no simulation path
+// calls it for non-violating cases.
 func (in Inst) String() string {
+	var b strings.Builder
 	switch in.Op {
 	case OpNop:
 		return "NOP"
 	case OpFence:
 		return "FENCE"
 	case OpMovImm:
-		return fmt.Sprintf("MOVI %s, %#x", in.Dst, uint64(in.Imm))
+		b.WriteString("MOVI ")
+		b.WriteString(in.Dst.String())
+		b.WriteString(", ")
+		writeHex(&b, uint64(in.Imm))
 	case OpMov:
-		return fmt.Sprintf("MOV %s, %s", in.Dst, in.Src1)
+		b.WriteString("MOV ")
+		b.WriteString(in.Dst.String())
+		b.WriteString(", ")
+		b.WriteString(in.Src1.String())
 	case OpCmp:
+		b.WriteString("CMP ")
+		b.WriteString(in.Src1.String())
+		b.WriteString(", ")
 		if in.UseImm {
-			return fmt.Sprintf("CMP %s, %#x", in.Src1, uint64(in.Imm))
+			writeHex(&b, uint64(in.Imm))
+		} else {
+			b.WriteString(in.Src2.String())
 		}
-		return fmt.Sprintf("CMP %s, %s", in.Src1, in.Src2)
 	case OpCmov:
-		return fmt.Sprintf("CMOV.%s %s, %s", in.Cond, in.Dst, in.Src1)
+		b.WriteString("CMOV.")
+		b.WriteString(in.Cond.String())
+		b.WriteByte(' ')
+		b.WriteString(in.Dst.String())
+		b.WriteString(", ")
+		b.WriteString(in.Src1.String())
 	case OpLoad:
-		return fmt.Sprintf("LD.%d %s, [%s%+#x]", in.Size, in.Dst, in.Src1, in.Imm)
+		b.WriteString("LD.")
+		b.WriteString(strconv.Itoa(int(in.Size)))
+		b.WriteByte(' ')
+		b.WriteString(in.Dst.String())
+		b.WriteString(", ")
+		writeMemOperand(&b, in.Src1, in.Imm)
 	case OpStore:
-		return fmt.Sprintf("ST.%d [%s%+#x], %s", in.Size, in.Src1, in.Imm, in.Src2)
+		b.WriteString("ST.")
+		b.WriteString(strconv.Itoa(int(in.Size)))
+		b.WriteByte(' ')
+		writeMemOperand(&b, in.Src1, in.Imm)
+		b.WriteString(", ")
+		b.WriteString(in.Src2.String())
 	case OpBranch:
-		return fmt.Sprintf("B.%s .L%d", in.Cond, in.Target)
+		b.WriteString("B.")
+		b.WriteString(in.Cond.String())
+		b.WriteString(" .L")
+		b.WriteString(strconv.Itoa(in.Target))
 	case OpJmp:
-		return fmt.Sprintf("JMP .L%d", in.Target)
+		b.WriteString("JMP .L")
+		b.WriteString(strconv.Itoa(in.Target))
+	default:
+		b.WriteString(in.Op.String())
+		b.WriteByte(' ')
+		b.WriteString(in.Dst.String())
+		b.WriteString(", ")
+		b.WriteString(in.Src1.String())
+		b.WriteString(", ")
+		if in.UseImm {
+			writeHex(&b, uint64(in.Imm))
+		} else {
+			b.WriteString(in.Src2.String())
+		}
 	}
-	if in.UseImm {
-		return fmt.Sprintf("%s %s, %s, %#x", in.Op, in.Dst, in.Src1, uint64(in.Imm))
+	return b.String()
+}
+
+// writeHex renders v as %#x does ("0x0", "0x2a", ...).
+func writeHex(b *strings.Builder, v uint64) {
+	b.WriteString("0x")
+	b.WriteString(strconv.FormatUint(v, 16))
+}
+
+// writeMemOperand renders a "[Rbase+0xdisp]" operand with a signed,
+// always-signed-prefixed displacement, matching fmt's %+#x.
+func writeMemOperand(b *strings.Builder, base Reg, imm int64) {
+	b.WriteByte('[')
+	b.WriteString(base.String())
+	if imm < 0 {
+		b.WriteString("-0x")
+		b.WriteString(strconv.FormatUint(uint64(-imm), 16))
+	} else {
+		b.WriteString("+0x")
+		b.WriteString(strconv.FormatUint(uint64(imm), 16))
 	}
-	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	b.WriteByte(']')
 }

@@ -69,6 +69,12 @@ func (im *Image) Sandbox() Sandbox { return im.sb }
 // Bytes returns the backing storage. Mutating it mutates the image.
 func (im *Image) Bytes() []byte { return im.data }
 
+// Zero clears the image content (the state a freshly constructed image
+// starts in), letting a long-lived core reuse one image across programs.
+func (im *Image) Zero() {
+	clear(im.data)
+}
+
 // SetBytes overwrites the image content. src must have the sandbox size.
 func (im *Image) SetBytes(src []byte) {
 	if len(src) != len(im.data) {

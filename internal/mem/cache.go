@@ -8,7 +8,7 @@ package mem
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // CacheConfig describes one cache array.
@@ -35,19 +35,33 @@ func (c CacheConfig) Validate() error {
 // SizeBytes returns the cache capacity in bytes.
 func (c CacheConfig) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
 
+// cacheLine is one way of one set. key encodes validity and the tag in a
+// single word — addr+1 for a valid line, 0 for an invalid one — so the way
+// scan of a lookup is one comparison per way over a compact 16-byte entry.
 type cacheLine struct {
-	valid   bool
-	addr    uint64 // line-aligned address
+	key     uint64 // line address + 1, or 0 when invalid
 	lastUse uint64 // LRU timestamp
 }
 
+func (l cacheLine) valid() bool  { return l.key != 0 }
+func (l cacheLine) addr() uint64 { return l.key - 1 }
+
 // Cache is a set-associative cache with true-LRU replacement. It tracks
 // tags only: data contents live in the architectural memory image, which is
-// all the micro-architectural traces need.
+// all the micro-architectural traces need. The ways of all sets live in one
+// flat array (set s occupies lines[s*Ways : (s+1)*Ways]), so lookups walk
+// contiguous memory and checkpointing a cache is a single copy.
 type Cache struct {
 	cfg     CacheConfig
-	sets    [][]cacheLine
+	lines   []cacheLine // Sets*Ways entries, set-major
 	useTick uint64
+
+	// Geometry derived at construction: LineSize and Sets are powers of
+	// two, so indexing is a shift and a mask instead of runtime divisions
+	// on the hottest lookup path.
+	lineShift uint
+	setMask   uint64
+	lineMask  uint64
 }
 
 // NewCache builds a cache. It panics on invalid configuration: cache
@@ -56,11 +70,17 @@ func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, sets: make([][]cacheLine, cfg.Sets)}
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, cfg.Ways)
+	shift := uint(0)
+	for 1<<shift != cfg.LineSize {
+		shift++
 	}
-	return c
+	return &Cache{
+		cfg:       cfg,
+		lines:     make([]cacheLine, cfg.Sets*cfg.Ways),
+		lineShift: shift,
+		setMask:   uint64(cfg.Sets - 1),
+		lineMask:  ^(uint64(cfg.LineSize) - 1),
+	}
 }
 
 // Config returns the cache geometry.
@@ -68,49 +88,56 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 {
-	return addr &^ (uint64(c.cfg.LineSize) - 1)
+	return addr & c.lineMask
 }
 
 // SetIndex returns the set index for addr.
 func (c *Cache) SetIndex(addr uint64) int {
-	return int((addr / uint64(c.cfg.LineSize)) & uint64(c.cfg.Sets-1))
+	return int((addr >> c.lineShift) & c.setMask)
 }
 
-func (c *Cache) find(addr uint64) (set int, way int, ok bool) {
-	la := c.LineAddr(addr)
-	set = c.SetIndex(addr)
-	for w := range c.sets[set] {
-		if c.sets[set][w].valid && c.sets[set][w].addr == la {
-			return set, w, true
+// setBase returns the index of the first way of the set containing addr.
+func (c *Cache) setBase(addr uint64) int {
+	return c.SetIndex(addr) * c.cfg.Ways
+}
+
+// find returns the flat line index holding addr.
+func (c *Cache) find(addr uint64) (idx int, ok bool) {
+	key := c.LineAddr(addr) + 1
+	base := c.setBase(addr)
+	lines := c.lines[base : base+c.cfg.Ways]
+	for w := range lines {
+		if lines[w].key == key {
+			return base + w, true
 		}
 	}
-	return set, -1, false
+	return 0, false
 }
 
 // Contains reports whether the line holding addr is present, without
 // updating replacement state.
 func (c *Cache) Contains(addr uint64) bool {
-	_, _, ok := c.find(addr)
+	_, ok := c.find(addr)
 	return ok
 }
 
 // Touch looks up addr and, on a hit, updates the LRU state. It returns
 // whether the access hit.
 func (c *Cache) Touch(addr uint64) bool {
-	set, way, ok := c.find(addr)
+	idx, ok := c.find(addr)
 	if !ok {
 		return false
 	}
 	c.useTick++
-	c.sets[set][way].lastUse = c.useTick
+	c.lines[idx].lastUse = c.useTick
 	return true
 }
 
 // SetFull reports whether the set containing addr has no invalid way.
 func (c *Cache) SetFull(addr uint64) bool {
-	set := c.SetIndex(addr)
-	for w := range c.sets[set] {
-		if !c.sets[set][w].valid {
+	base := c.setBase(addr)
+	for _, ln := range c.lines[base : base+c.cfg.Ways] {
+		if !ln.valid() {
 			return false
 		}
 	}
@@ -119,14 +146,14 @@ func (c *Cache) SetFull(addr uint64) bool {
 
 // victimWay returns the way Install would replace in set (an invalid way if
 // one exists, otherwise the LRU way).
-func (c *Cache) victimWay(set int) int {
+func victimWay(set []cacheLine) int {
 	lru, lruWay := ^uint64(0), 0
-	for w := range c.sets[set] {
-		if !c.sets[set][w].valid {
+	for w := range set {
+		if !set[w].valid() {
 			return w
 		}
-		if c.sets[set][w].lastUse < lru {
-			lru = c.sets[set][w].lastUse
+		if set[w].lastUse < lru {
+			lru = set[w].lastUse
 			lruWay = w
 		}
 	}
@@ -139,10 +166,11 @@ func (c *Cache) ProbeVictim(addr uint64) (victim uint64, wouldEvict bool) {
 	if c.Contains(addr) {
 		return 0, false
 	}
-	set := c.SetIndex(addr)
-	w := c.victimWay(set)
-	if c.sets[set][w].valid {
-		return c.sets[set][w].addr, true
+	base := c.setBase(addr)
+	set := c.lines[base : base+c.cfg.Ways]
+	w := victimWay(set)
+	if set[w].valid() {
+		return set[w].addr(), true
 	}
 	return 0, false
 }
@@ -154,13 +182,14 @@ func (c *Cache) Install(addr uint64) (victim uint64, evicted bool) {
 	if c.Touch(addr) {
 		return 0, false
 	}
-	set := c.SetIndex(addr)
-	w := c.victimWay(set)
-	if c.sets[set][w].valid {
-		victim, evicted = c.sets[set][w].addr, true
+	base := c.setBase(addr)
+	set := c.lines[base : base+c.cfg.Ways]
+	w := victimWay(set)
+	if set[w].valid() {
+		victim, evicted = set[w].addr(), true
 	}
 	c.useTick++
-	c.sets[set][w] = cacheLine{valid: true, addr: c.LineAddr(addr), lastUse: c.useTick}
+	set[w] = cacheLine{key: c.LineAddr(addr) + 1, lastUse: c.useTick}
 	return victim, evicted
 }
 
@@ -173,35 +202,32 @@ func (c *Cache) EvictVictim(addr uint64) (victim uint64, evicted bool) {
 	if c.Contains(addr) {
 		return 0, false
 	}
-	set := c.SetIndex(addr)
-	w := c.victimWay(set)
-	if !c.sets[set][w].valid {
+	base := c.setBase(addr)
+	set := c.lines[base : base+c.cfg.Ways]
+	w := victimWay(set)
+	if !set[w].valid() {
 		return 0, false
 	}
-	victim = c.sets[set][w].addr
-	c.sets[set][w] = cacheLine{}
+	victim = set[w].addr()
+	set[w] = cacheLine{}
 	return victim, true
 }
 
 // Invalidate removes the line holding addr. It reports whether a line was
 // removed.
 func (c *Cache) Invalidate(addr uint64) bool {
-	set, way, ok := c.find(addr)
+	idx, ok := c.find(addr)
 	if !ok {
 		return false
 	}
-	c.sets[set][way] = cacheLine{}
+	c.lines[idx] = cacheLine{}
 	return true
 }
 
 // InvalidateAll clears the whole cache (the simulator-hook reset used for
 // CleanupSpec and SpecLFB campaigns).
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = cacheLine{}
-		}
-	}
+	clear(c.lines)
 	c.useTick = 0
 }
 
@@ -209,10 +235,10 @@ func (c *Cache) InvalidateAll() {
 // the cache-initialization strategy of AMuLeT-Opt: starting from fully
 // occupied sets makes evictions observable in the final snapshot.
 func (c *Cache) Prime(addrFor func(set, way int) uint64) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
+	for s := 0; s < c.cfg.Sets; s++ {
+		for w := 0; w < c.cfg.Ways; w++ {
 			c.useTick++
-			c.sets[s][w] = cacheLine{valid: true, addr: c.LineAddr(addrFor(s, w)), lastUse: c.useTick}
+			c.lines[s*c.cfg.Ways+w] = cacheLine{key: c.LineAddr(addrFor(s, w)) + 1, lastUse: c.useTick}
 		}
 	}
 }
@@ -220,56 +246,65 @@ func (c *Cache) Prime(addrFor func(set, way int) uint64) {
 // Snapshot returns the sorted addresses of all valid lines: the cache part
 // of a micro-architectural trace.
 func (c *Cache) Snapshot() []uint64 {
-	var out []uint64
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].valid {
-				out = append(out, c.sets[s][w].addr)
-			}
+	return c.SnapshotInto(nil)
+}
+
+// SnapshotInto appends the sorted valid line addresses to buf (usually
+// buf[:0] of a reused trace buffer) and returns the extended slice, so the
+// steady-state trace-extraction path allocates nothing.
+func (c *Cache) SnapshotInto(buf []uint64) []uint64 {
+	start := len(buf)
+	for i := range c.lines {
+		if c.lines[i].valid() {
+			buf = append(buf, c.lines[i].addr())
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(buf[start:])
+	return buf
+}
+
+// ValidCount returns the number of valid lines.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid() {
+			n++
+		}
+	}
+	return n
 }
 
 // CacheState is an opaque copy of a cache's content, used to replay test
 // cases from an identical micro-architectural context during violation
 // validation.
 type CacheState struct {
-	sets    [][]cacheLine
+	cfg     CacheConfig
+	lines   []cacheLine
 	useTick uint64
 }
 
 // Save captures the full tag state.
 func (c *Cache) Save() *CacheState {
-	st := &CacheState{useTick: c.useTick, sets: make([][]cacheLine, len(c.sets))}
-	for i := range c.sets {
-		st.sets[i] = append([]cacheLine(nil), c.sets[i]...)
-	}
+	st := &CacheState{}
+	c.SaveInto(st)
 	return st
+}
+
+// SaveInto captures the full tag state into st, reusing st's buffers. The
+// validation replay path saves a context per µarch-trace mismatch, so the
+// checkpoint buffer is recycled rather than reallocated.
+func (c *Cache) SaveInto(st *CacheState) {
+	st.cfg = c.cfg
+	st.lines = append(st.lines[:0], c.lines...)
+	st.useTick = c.useTick
 }
 
 // Restore rewinds the cache to a previously saved state. It panics if the
 // state came from a cache with different geometry.
 func (c *Cache) Restore(st *CacheState) {
-	if len(st.sets) != len(c.sets) || (len(st.sets) > 0 && len(st.sets[0]) != len(c.sets[0])) {
+	if st.cfg != c.cfg {
 		panic("mem: CacheState geometry mismatch")
 	}
-	for i := range c.sets {
-		copy(c.sets[i], st.sets[i])
-	}
+	copy(c.lines, st.lines)
 	c.useTick = st.useTick
-}
-
-// ValidCount returns the number of valid lines.
-func (c *Cache) ValidCount() int {
-	n := 0
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].valid {
-				n++
-			}
-		}
-	}
-	return n
 }

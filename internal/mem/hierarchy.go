@@ -125,7 +125,14 @@ type Hierarchy struct {
 	DTLB  *TLB
 	LFBuf *LFB
 
+	// pending is a binary min-heap ordered by (at, id): the root is always
+	// the next fill to complete, so a quiescent Tick is a single compare
+	// instead of the former O(pending) re-filter every cycle. due and done
+	// are scratch buffers reused across Ticks, keeping the per-cycle path
+	// allocation-free in steady state.
 	pending    []pendingFill
+	due        []pendingFill
+	done       []CompletedFill
 	nextFillID uint64
 
 	// portBusyUntil blocks the data port: accesses issued before this
@@ -164,15 +171,23 @@ func (h *Hierarchy) Reset() {
 }
 
 // Tick applies every pending fill due at or before cycle now and returns
-// what was installed, in schedule order. Cancelled fills are dropped.
+// what was installed, in schedule order. Cancelled fills are dropped. The
+// returned slice is a buffer owned by the hierarchy, valid until the next
+// Tick; no caller retains it past the cycle.
 func (h *Hierarchy) Tick(now uint64) []CompletedFill {
-	var done []CompletedFill
-	rest := h.pending[:0]
-	for _, f := range h.pending {
-		if f.at > now {
-			rest = append(rest, f)
-			continue
-		}
+	if len(h.pending) == 0 || h.pending[0].at > now {
+		return nil
+	}
+	// Pop everything due, then apply in schedule (id) order — the order the
+	// former append-only queue preserved naturally — so fills scheduled
+	// earlier install first even when a later request completes sooner.
+	h.due = h.due[:0]
+	for len(h.pending) > 0 && h.pending[0].at <= now {
+		h.due = append(h.due, h.heapPop())
+	}
+	sortFillsByID(h.due)
+	h.done = h.done[:0]
+	for _, f := range h.due {
 		if f.cancelled {
 			continue
 		}
@@ -191,10 +206,63 @@ func (h *Hierarchy) Tick(now uint64) []CompletedFill {
 		case SinkNone:
 			// Data delivered to the core; hierarchy state untouched.
 		}
-		done = append(done, cf)
+		h.done = append(h.done, cf)
 	}
-	h.pending = rest
-	return done
+	return h.done
+}
+
+// fillLess orders the heap by completion cycle, ties broken by schedule
+// order so the pop sequence is deterministic.
+func fillLess(a, b pendingFill) bool {
+	return a.at < b.at || (a.at == b.at && a.id < b.id)
+}
+
+// sortFillsByID insertion-sorts a due batch back into schedule order. The
+// batch is the fills of a single cycle — almost always zero or one entry —
+// so insertion sort beats any general-purpose sort here.
+func sortFillsByID(fs []pendingFill) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].id < fs[j-1].id; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func (h *Hierarchy) heapPush(f pendingFill) {
+	h.pending = append(h.pending, f)
+	i := len(h.pending) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !fillLess(h.pending[i], h.pending[p]) {
+			break
+		}
+		h.pending[i], h.pending[p] = h.pending[p], h.pending[i]
+		i = p
+	}
+}
+
+func (h *Hierarchy) heapPop() pendingFill {
+	top := h.pending[0]
+	last := len(h.pending) - 1
+	h.pending[0] = h.pending[last]
+	h.pending = h.pending[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && fillLess(h.pending[l], h.pending[min]) {
+			min = l
+		}
+		if r < last && fillLess(h.pending[r], h.pending[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.pending[i], h.pending[min] = h.pending[min], h.pending[i]
+		i = min
+	}
+	return top
 }
 
 // PendingFills returns the number of fills still in flight.
@@ -208,24 +276,33 @@ func (h *Hierarchy) DropPendingFills() { h.pending = h.pending[:0] }
 // and TLB). Transient state — MSHRs, LFB, pending fills — is not captured:
 // it never survives across test cases anyway.
 type HierState struct {
-	l1d, l1i, l2 *CacheState
-	tlb          *TLBState
+	l1d, l1i, l2 CacheState
+	tlb          TLBState
 }
 
 // Save captures cache and TLB state for later replay.
 func (h *Hierarchy) Save() *HierState {
-	return &HierState{
-		l1d: h.L1D.Save(), l1i: h.L1I.Save(), l2: h.L2.Save(), tlb: h.DTLB.Save(),
-	}
+	st := &HierState{}
+	h.SaveInto(st)
+	return st
+}
+
+// SaveInto captures cache and TLB state into st, reusing st's buffers so
+// repeated checkpoints (one per validation replay) allocate nothing.
+func (h *Hierarchy) SaveInto(st *HierState) {
+	h.L1D.SaveInto(&st.l1d)
+	h.L1I.SaveInto(&st.l1i)
+	h.L2.SaveInto(&st.l2)
+	h.DTLB.SaveInto(&st.tlb)
 }
 
 // Restore rewinds caches and TLB to a saved state and clears transient
 // structures.
 func (h *Hierarchy) Restore(st *HierState) {
-	h.L1D.Restore(st.l1d)
-	h.L1I.Restore(st.l1i)
-	h.L2.Restore(st.l2)
-	h.DTLB.Restore(st.tlb)
+	h.L1D.Restore(&st.l1d)
+	h.L1I.Restore(&st.l1i)
+	h.L2.Restore(&st.l2)
+	h.DTLB.Restore(&st.tlb)
 	h.MSHR.Reset()
 	h.LFBuf.Reset()
 	h.DropPendingFills()
@@ -245,7 +322,7 @@ func (h *Hierarchy) CancelFill(id uint64) {
 // ScheduleFill enqueues a fill of lineAddr completing at cycle at.
 func (h *Hierarchy) ScheduleFill(at, lineAddr uint64, sink FillSink, owner uint64) uint64 {
 	h.nextFillID++
-	h.pending = append(h.pending, pendingFill{
+	h.heapPush(pendingFill{
 		id: h.nextFillID, at: at, lineAddr: lineAddr, sink: sink, owner: owner,
 	})
 	return h.nextFillID

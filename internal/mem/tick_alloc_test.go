@@ -1,0 +1,99 @@
+package mem
+
+import "testing"
+
+// TestTickScheduleOrder pins the Tick contract the min-heap must preserve:
+// fills are applied in schedule (ScheduleFill call) order even when a
+// later-scheduled fill becomes ready earlier, exactly as the old
+// append-ordered queue behaved.
+func TestTickScheduleOrder(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	// First fill completes late, second early: both due at cycle 100.
+	id1 := h.ScheduleFill(90, 0x1000, SinkNone, 1)
+	id2 := h.ScheduleFill(10, 0x2000, SinkNone, 2)
+	done := h.Tick(100)
+	if len(done) != 2 {
+		t.Fatalf("expected 2 completed fills, got %d", len(done))
+	}
+	if done[0].ID != id1 || done[1].ID != id2 {
+		t.Errorf("fills applied out of schedule order: got [%d %d], want [%d %d]",
+			done[0].ID, done[1].ID, id1, id2)
+	}
+}
+
+// TestTickReadyTimeGate: fills complete no earlier than their ready time,
+// quiescent ticks return nothing, and cancelled fills are dropped when due.
+func TestTickReadyTimeGate(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	id := h.ScheduleFill(50, 0x3000, SinkCache, 7)
+	for now := uint64(1); now < 50; now += 7 {
+		if got := h.Tick(now); len(got) != 0 {
+			t.Fatalf("fill completed at cycle %d, ready at 50", now)
+		}
+	}
+	if h.PendingFills() != 1 {
+		t.Fatalf("pending = %d, want 1", h.PendingFills())
+	}
+	done := h.Tick(50)
+	if len(done) != 1 || done[0].ID != id {
+		t.Fatalf("fill not applied at its ready time: %+v", done)
+	}
+	if !h.L1D.Contains(0x3000) {
+		t.Errorf("SinkCache fill did not install")
+	}
+
+	// A cancelled fill stays pending (it still occupies the queue until
+	// due, as before) but never applies.
+	id2 := h.ScheduleFill(60, 0x4000, SinkCache, 8)
+	h.CancelFill(id2)
+	if h.PendingFills() != 1 {
+		t.Errorf("cancelled fill dropped early: pending = %d", h.PendingFills())
+	}
+	if done := h.Tick(60); len(done) != 0 {
+		t.Errorf("cancelled fill applied: %+v", done)
+	}
+	if h.L1D.Contains(0x4000) {
+		t.Errorf("cancelled fill installed its line")
+	}
+}
+
+// TestTickAllocFree: after warm-up, the schedule→tick cycle of the
+// simulation hot loop performs zero heap allocations — the regression
+// guard for the pending-fill queue and its reusable batch buffers.
+func TestTickAllocFree(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	now := uint64(0)
+	cycle := func() {
+		for i := 0; i < 8; i++ {
+			h.ScheduleFill(now+uint64(5+i), uint64(0x1000+i*64), SinkCache, uint64(i))
+		}
+		for e := 0; e < 20; e++ {
+			now++
+			h.Tick(now)
+		}
+	}
+	cycle() // warm the heap and batch buffers
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Errorf("Tick loop allocates %v objects per cycle batch, want 0", allocs)
+	}
+}
+
+// TestSaveIntoReusesBuffers: repeated checkpoints through SaveInto reuse
+// the state buffers instead of reallocating cache-sized copies.
+func TestSaveIntoReusesBuffers(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	h.L1D.Install(0x1000)
+	var st HierState
+	h.SaveInto(&st)
+	if allocs := testing.AllocsPerRun(20, func() { h.SaveInto(&st) }); allocs > 0 {
+		t.Errorf("SaveInto allocates %v objects per call, want 0", allocs)
+	}
+	h.L1D.Install(0x2000)
+	h.Restore(&st)
+	if h.L1D.Contains(0x2000) {
+		t.Errorf("Restore did not rewind the L1D")
+	}
+	if !h.L1D.Contains(0x1000) {
+		t.Errorf("Restore lost the checkpointed line")
+	}
+}

@@ -1,6 +1,6 @@
 package mem
 
-import "sort"
+import "slices"
 
 // TLB is a fully associative data TLB with true-LRU replacement over
 // virtual page numbers. Its final state is part of the default
@@ -11,11 +11,17 @@ type TLB struct {
 	useTick uint64
 }
 
+// tlbEntry packs validity and the page number into one key word (page+1,
+// or 0 when invalid), so the fully associative scan is one comparison per
+// entry — the cache priming path installs hundreds of translations per
+// test case through this scan.
 type tlbEntry struct {
-	valid   bool
-	page    uint64 // virtual page number
+	key     uint64 // virtual page number + 1, or 0 when invalid
 	lastUse uint64
 }
+
+func (e tlbEntry) valid() bool  { return e.key != 0 }
+func (e tlbEntry) page() uint64 { return e.key - 1 }
 
 // NewTLB builds a TLB with n entries. It panics if n < 1.
 func NewTLB(n int) *TLB {
@@ -30,8 +36,9 @@ func (t *TLB) Size() int { return len(t.entries) }
 
 // Touch looks up page and refreshes LRU on a hit.
 func (t *TLB) Touch(page uint64) bool {
+	key := page + 1
 	for i := range t.entries {
-		if t.entries[i].valid && t.entries[i].page == page {
+		if t.entries[i].key == key {
 			t.useTick++
 			t.entries[i].lastUse = t.useTick
 			return true
@@ -42,8 +49,9 @@ func (t *TLB) Touch(page uint64) bool {
 
 // Contains reports presence without updating LRU.
 func (t *TLB) Contains(page uint64) bool {
-	for _, e := range t.entries {
-		if e.valid && e.page == page {
+	key := page + 1
+	for i := range t.entries {
+		if t.entries[i].key == key {
 			return true
 		}
 	}
@@ -58,7 +66,7 @@ func (t *TLB) Install(page uint64) (victim uint64, evicted bool) {
 	}
 	lru, lruIdx := ^uint64(0), 0
 	for i := range t.entries {
-		if !t.entries[i].valid {
+		if !t.entries[i].valid() {
 			lruIdx = i
 			lru = 0
 			break
@@ -68,19 +76,17 @@ func (t *TLB) Install(page uint64) (victim uint64, evicted bool) {
 			lruIdx = i
 		}
 	}
-	if t.entries[lruIdx].valid {
-		victim, evicted = t.entries[lruIdx].page, true
+	if t.entries[lruIdx].valid() {
+		victim, evicted = t.entries[lruIdx].page(), true
 	}
 	t.useTick++
-	t.entries[lruIdx] = tlbEntry{valid: true, page: page, lastUse: t.useTick}
+	t.entries[lruIdx] = tlbEntry{key: page + 1, lastUse: t.useTick}
 	return victim, evicted
 }
 
 // InvalidateAll clears the TLB.
 func (t *TLB) InvalidateAll() {
-	for i := range t.entries {
-		t.entries[i] = tlbEntry{}
-	}
+	clear(t.entries)
 	t.useTick = 0
 }
 
@@ -92,7 +98,15 @@ type TLBState struct {
 
 // Save captures the TLB state.
 func (t *TLB) Save() *TLBState {
-	return &TLBState{entries: append([]tlbEntry(nil), t.entries...), useTick: t.useTick}
+	st := &TLBState{}
+	t.SaveInto(st)
+	return st
+}
+
+// SaveInto captures the TLB state into st, reusing st's buffer.
+func (t *TLB) SaveInto(st *TLBState) {
+	st.entries = append(st.entries[:0], t.entries...)
+	st.useTick = t.useTick
 }
 
 // Restore rewinds the TLB to a saved state. It panics on size mismatch.
@@ -107,12 +121,18 @@ func (t *TLB) Restore(st *TLBState) {
 // Snapshot returns the sorted virtual page numbers currently cached: the
 // TLB part of a micro-architectural trace.
 func (t *TLB) Snapshot() []uint64 {
-	var out []uint64
+	return t.SnapshotInto(nil)
+}
+
+// SnapshotInto appends the sorted cached page numbers to buf and returns
+// the extended slice (allocation-free trace extraction).
+func (t *TLB) SnapshotInto(buf []uint64) []uint64 {
+	start := len(buf)
 	for _, e := range t.entries {
-		if e.valid {
-			out = append(out, e.page)
+		if e.valid() {
+			buf = append(buf, e.page())
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(buf[start:])
+	return buf
 }

@@ -119,11 +119,16 @@ type BPredState struct {
 
 // Save captures the predictor state.
 func (b *BPred) Save() *BPredState {
-	return &BPredState{
-		pht:     append([]uint8(nil), b.pht...),
-		history: b.history,
-		btb:     append([]btbEntry(nil), b.btb...),
-	}
+	st := &BPredState{}
+	b.SaveInto(st)
+	return st
+}
+
+// SaveInto captures the predictor state into st, reusing st's buffers.
+func (b *BPred) SaveInto(st *BPredState) {
+	st.pht = append(st.pht[:0], b.pht...)
+	st.btb = append(st.btb[:0], b.btb...)
+	st.history = b.history
 }
 
 // Restore rewinds the predictor to a saved state. It panics on geometry

@@ -51,6 +51,15 @@ type Core struct {
 	accessOrder []AccessRec
 	branchOrder []BranchRec
 
+	// Scratch arena: buffers reused across the many inputs this core
+	// executes, so the steady-state simulation loop allocates nothing.
+	// dyn recycles DynInst structs, robBuf backs the rob window (twice
+	// ROBSize, so the window slides and compacts amortized O(1) per
+	// dispatch), and squashBuf holds the squash walk of one recovery.
+	dyn       dynArena
+	robBuf    []*DynInst
+	squashBuf []*DynInst
+
 	// cov, when non-nil, receives speculation-coverage features as the core
 	// simulates (see coverage.go); lastMemClass threads the previous
 	// data-access outcome into transition-edge features.
@@ -128,7 +137,14 @@ func (c *Core) LoadTest(p *isa.Program, sb isa.Sandbox) error {
 	}
 	c.prog = p
 	c.sb = sb
-	c.img = isa.NewImage(sb)
+	// Pooled executors load same-geometry sandboxes program after program;
+	// reusing the image (zeroed, exactly as a fresh one starts) keeps the
+	// per-program path allocation-free.
+	if c.img != nil && c.img.Sandbox() == sb {
+		c.img.Zero()
+	} else {
+		c.img = isa.NewImage(sb)
+	}
 	return nil
 }
 
@@ -142,7 +158,11 @@ func (c *Core) ResetForInput(in *isa.Input) {
 
 	c.cycle = 0
 	c.seq = 0
-	c.rob = c.rob[:0]
+	if c.robBuf == nil {
+		c.robBuf = make([]*DynInst, 2*c.cfg.ROBSize)
+	}
+	c.rob = c.robBuf[:0]
+	c.dyn.reset()
 	for i := range c.renameReg {
 		c.renameReg[i] = nil
 	}
@@ -181,23 +201,35 @@ func (c *Core) ResetUarch() {
 // UarchState is an opaque copy of the persistent micro-architectural
 // context µ (caches, TLB, predictors).
 type UarchState struct {
-	hier *mem.HierState
-	bp   *BPredState
-	mdp  *MDPState
+	hier mem.HierState
+	bp   BPredState
+	mdp  MDPState
 }
 
 // SaveUarch captures the current micro-architectural context, so violation
 // validation can replay two inputs from the *same* context µ, as
 // Definition 2.1 requires.
 func (c *Core) SaveUarch() *UarchState {
-	return &UarchState{hier: c.Hier.Save(), bp: c.BP.Save(), mdp: c.MD.Save()}
+	st := &UarchState{}
+	c.SaveUarchInto(st)
+	return st
+}
+
+// SaveUarchInto captures the context into st, reusing st's buffers: the
+// validation path saves a checkpoint per µarch-trace mismatch, so the
+// executor hands the same state object back in instead of reallocating
+// cache-sized copies every time.
+func (c *Core) SaveUarchInto(st *UarchState) {
+	c.Hier.SaveInto(&st.hier)
+	c.BP.SaveInto(&st.bp)
+	c.MD.SaveInto(&st.mdp)
 }
 
 // RestoreUarch rewinds the micro-architectural context to a saved state.
 func (c *Core) RestoreUarch(st *UarchState) {
-	c.Hier.Restore(st.hier)
-	c.BP.Restore(st.bp)
-	c.MD.Restore(st.mdp)
+	c.Hier.Restore(&st.hier)
+	c.BP.Restore(&st.bp)
+	c.MD.Restore(&st.mdp)
 }
 
 // Run simulates the loaded test case to completion: it returns once the
@@ -297,8 +329,8 @@ func (c *Core) squashYoungerThan(seq uint64, redirectIdx int) {
 			break
 		}
 	}
-	squashed := make([]*DynInst, len(c.rob)-cut)
-	copy(squashed, c.rob[cut:])
+	squashed := append(c.squashBuf[:0], c.rob[cut:]...)
+	c.squashBuf = squashed
 	c.rob = c.rob[:cut]
 	// Youngest first, matching squash walk order in hardware.
 	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
@@ -617,7 +649,7 @@ func (c *Core) tryIssueLoad(ld *DynInst) bool {
 // dependence prediction demands it, and otherwise lets the load bypass
 // (recording that it did, for memory-order violation checks).
 func (c *Core) searchStoreQueue(ld *DynInst) (fwd bool, val uint64, blocked bool) {
-	ldBytes := byteOffsets(c.sb, ld.EffAddr, ld.In.Size)
+	ldBytes := spanOf(c.sb, ld.EffAddr, ld.In.Size)
 	pos := -1
 	for i, in := range c.rob {
 		if in == ld {
@@ -637,34 +669,34 @@ func (c *Core) searchStoreQueue(ld *DynInst) (fwd bool, val uint64, blocked bool
 			ld.Bypassed = true
 			continue
 		}
-		stBytes := byteOffsets(c.sb, st.EffAddr, st.In.Size)
-		if !overlaps(stBytes, ldBytes) {
+		stBytes := spanOf(c.sb, st.EffAddr, st.In.Size)
+		if !stBytes.overlaps(&ldBytes) {
 			continue
 		}
 		dataReady := true
 		if p := st.Deps[1]; p != nil && p.State != StDone && p.State != StCommitted {
 			dataReady = false
 		}
-		if !dataReady || !covers(stBytes, ldBytes) {
+		if !dataReady || !stBytes.covers(&ldBytes) {
 			// Partial overlap or data not ready: wait for the store.
 			return false, 0, true
 		}
 		ld.FwdFromSeq = st.Seq
-		return true, extractForward(stBytes, ldBytes, st.SrcVal(1)), false
+		return true, extractForward(&stBytes, &ldBytes, st.SrcVal(1)), false
 	}
 	return false, 0, false
 }
 
 // extractForward assembles the load value from the store's data bytes.
-func extractForward(stBytes, ldBytes []uint64, stVal uint64) uint64 {
-	idx := make(map[uint64]int, len(stBytes))
-	for j, off := range stBytes {
-		idx[off] = j
-	}
+func extractForward(stBytes, ldBytes *byteSpan, stVal uint64) uint64 {
 	var v uint64
-	for k, off := range ldBytes {
-		j := idx[off]
-		v |= uint64(byte(stVal>>(8*j))) << (8 * k)
+	for k := 0; k < ldBytes.n; k++ {
+		for j := 0; j < stBytes.n; j++ {
+			if stBytes.off[j] == ldBytes.off[k] {
+				v |= uint64(byte(stVal>>(8*j))) << (8 * k)
+				break
+			}
+		}
 	}
 	return v
 }
@@ -752,7 +784,7 @@ func (c *Core) tryIssueStore(st *DynInst, issued *int) (squashed bool) {
 // data (the Spectre-v4 window); the pipeline squashes from the oldest
 // violating load and trains the dependence predictor.
 func (c *Core) checkMemOrderViolation(st *DynInst) bool {
-	stBytes := byteOffsets(c.sb, st.EffAddr, st.In.Size)
+	stBytes := spanOf(c.sb, st.EffAddr, st.In.Size)
 	var victim *DynInst
 	for _, in := range c.rob {
 		if in.Seq <= st.Seq || !in.IsLoad() {
@@ -767,8 +799,8 @@ func (c *Core) checkMemOrderViolation(st *DynInst) bool {
 		if !in.AddrValid {
 			continue
 		}
-		ldBytes := byteOffsets(c.sb, in.EffAddr, in.In.Size)
-		if overlaps(stBytes, ldBytes) {
+		ldBytes := spanOf(c.sb, in.EffAddr, in.In.Size)
+		if stBytes.overlaps(&ldBytes) {
 			victim = in
 			break // ROB is in program order: first match is the oldest
 		}
@@ -836,10 +868,27 @@ func (c *Core) fetchPhantom() {
 	c.fetchStallUntil = c.cycle + uint64(lat)
 }
 
+// robPush appends to the ROB window. The window slides through robBuf as
+// commit pops the front (c.rob = c.rob[1:]); when it reaches the end of the
+// backing array the live entries are compacted back to the front, which —
+// with the buffer sized at twice ROBSize — costs amortized O(1) pointer
+// moves per dispatch and never reallocates.
+func (c *Core) robPush(d *DynInst) {
+	if len(c.rob) == cap(c.rob) {
+		if c.robBuf == nil || len(c.robBuf) < 2*c.cfg.ROBSize {
+			c.robBuf = make([]*DynInst, 2*c.cfg.ROBSize)
+		}
+		n := copy(c.robBuf, c.rob)
+		c.rob = c.robBuf[:n]
+	}
+	c.rob = append(c.rob, d)
+}
+
 func (c *Core) dispatch(idx int) {
 	in := c.prog.Insts[idx]
 	c.seq++
-	d := &DynInst{Seq: c.seq, Idx: idx, In: in, PC: isa.PCOf(idx)}
+	d := c.dyn.alloc()
+	d.Seq, d.Idx, d.In, d.PC = c.seq, idx, in, isa.PCOf(idx)
 
 	readDep := func(slot int, r isa.Reg) {
 		if p := c.renameReg[r]; p != nil {
@@ -905,7 +954,7 @@ func (c *Core) dispatch(idx int) {
 	if d.WritesFlags {
 		c.renameFlags = d
 	}
-	c.rob = append(c.rob, d)
+	c.robPush(d)
 	c.stats.Fetched++
 	c.fetchIdx = next
 }

@@ -131,39 +131,86 @@ func (d *DynInst) AddrDepTainted() bool {
 	return p != nil && p.Tainted
 }
 
-// byteOffsets returns the wrapped sandbox offsets the access touches.
-func byteOffsets(sb isa.Sandbox, va uint64, size uint8) []uint64 {
-	out := make([]uint64, size)
+// byteSpan is the set of wrapped sandbox offsets a memory access touches.
+// Accesses are at most 8 bytes, so the offsets live in a fixed array and
+// the overlap/cover checks are allocation-free nested loops over at most
+// 8x8 elements — the load/store-queue search runs these on every load.
+type byteSpan struct {
+	off [8]uint64
+	n   int
+}
+
+// spanOf returns the wrapped sandbox offsets the access touches.
+func spanOf(sb isa.Sandbox, va uint64, size uint8) byteSpan {
+	var s byteSpan
+	s.n = int(size)
 	for k := uint8(0); k < size; k++ {
-		out[k] = (sb.ByteAddr(va, k) - isa.DataBase) & sb.Mask()
+		s.off[k] = (sb.ByteAddr(va, k) - isa.DataBase) & sb.Mask()
 	}
-	return out
+	return s
 }
 
 // overlaps reports whether two accesses share at least one byte.
-func overlaps(a, b []uint64) bool {
-	set := make(map[uint64]bool, len(a))
-	for _, x := range a {
-		set[x] = true
-	}
-	for _, y := range b {
-		if set[y] {
-			return true
+func (a *byteSpan) overlaps(b *byteSpan) bool {
+	for i := 0; i < a.n; i++ {
+		for j := 0; j < b.n; j++ {
+			if a.off[i] == b.off[j] {
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // covers reports whether access a fully contains access b.
-func covers(a, b []uint64) bool {
-	set := make(map[uint64]bool, len(a))
-	for _, x := range a {
-		set[x] = true
-	}
-	for _, y := range b {
-		if !set[y] {
+func (a *byteSpan) covers(b *byteSpan) bool {
+	for j := 0; j < b.n; j++ {
+		found := false
+		for i := 0; i < a.n; i++ {
+			if a.off[i] == b.off[j] {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
 	return true
+}
+
+// dynArena recycles DynInst structs across the inputs a core executes. The
+// pipeline dispatches thousands of dynamic instructions per test case;
+// allocating each one individually was the second-largest allocation source
+// in campaign profiles. Instructions are bump-allocated from fixed-size
+// chunks (so pointers handed to the ROB and defenses stay stable) and the
+// whole arena rewinds in O(1) at the next ResetForInput, when no reference
+// from the previous case can be live.
+type dynArena struct {
+	chunks [][]DynInst
+	chunk  int // index of the chunk currently being filled
+	next   int // next free slot in that chunk
+}
+
+const dynArenaChunk = 256
+
+// alloc returns a zeroed DynInst, keeping the recycled FillIDs capacity.
+func (a *dynArena) alloc() *DynInst {
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]DynInst, dynArenaChunk))
+	}
+	d := &a.chunks[a.chunk][a.next]
+	a.next++
+	if a.next == dynArenaChunk {
+		a.chunk++
+		a.next = 0
+	}
+	fillIDs := d.FillIDs[:0]
+	*d = DynInst{FillIDs: fillIDs}
+	return d
+}
+
+// reset rewinds the arena; previously handed-out instructions are reused.
+func (a *dynArena) reset() {
+	a.chunk, a.next = 0, 0
 }

@@ -31,11 +31,21 @@ type MDPState struct {
 
 // Save captures the predictor state.
 func (m *MDP) Save() *MDPState {
-	st := &MDPState{wait: make(map[uint64]uint8, len(m.wait))}
+	st := &MDPState{}
+	m.SaveInto(st)
+	return st
+}
+
+// SaveInto captures the predictor state into st, reusing st's map.
+func (m *MDP) SaveInto(st *MDPState) {
+	if st.wait == nil {
+		st.wait = make(map[uint64]uint8, len(m.wait))
+	} else {
+		clear(st.wait)
+	}
 	for k, v := range m.wait {
 		st.wait[k] = v
 	}
-	return st
 }
 
 // Restore rewinds the predictor to a saved state.
