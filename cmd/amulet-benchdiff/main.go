@@ -1,0 +1,114 @@
+// Command amulet-benchdiff compares two BENCH_engine.json files (the
+// machine-readable record BenchmarkCampaignSerialVsEngine emits) and fails
+// when campaign throughput regressed beyond a threshold. CI's bench-smoke
+// job runs it against the committed baseline and pipes the markdown table
+// into the job summary, so a throughput regression fails the build with
+// the delta in plain sight instead of hiding in an artifact.
+//
+// Usage:
+//
+//	amulet-benchdiff -baseline BENCH_engine.json -fresh /tmp/fresh.json [-max-regress 10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record mirrors bench_test.go's engineBenchRecord (kept in sync by the
+// shared JSON schema; unknown fields are ignored on both sides).
+type record struct {
+	Benchmark   string  `json:"benchmark"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	CasesPerSec float64 `json:"cases_per_sec"`
+	Workers     int     `json:"workers"`
+	TestCases   int     `json:"test_cases"`
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(recs))
+	for _, r := range recs {
+		out[r.Benchmark] = r
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "", "committed BENCH_engine.json to compare against")
+		fresh      = flag.String("fresh", "BENCH_engine.json", "freshly generated BENCH_engine.json")
+		maxRegress = flag.Float64("max-regress", 10, "maximum tolerated cases/s regression, percent")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "amulet-benchdiff: -baseline is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("### Engine benchmark vs committed baseline")
+	fmt.Println()
+	fmt.Println("| benchmark | baseline cases/s | fresh cases/s | delta |")
+	fmt.Println("| --- | ---: | ---: | ---: |")
+	failed := false
+	compared := 0
+	for _, b := range sortedKeys(base) {
+		old := base[b]
+		now, ok := cur[b]
+		if !ok {
+			fmt.Printf("| %s | %.0f | _missing_ | — |\n", b, old.CasesPerSec)
+			failed = true
+			continue
+		}
+		compared++
+		delta := 100 * (now.CasesPerSec - old.CasesPerSec) / old.CasesPerSec
+		mark := ""
+		if delta < -*maxRegress {
+			mark = " ❌"
+			failed = true
+		}
+		fmt.Printf("| %s | %.0f | %.0f | %+.1f%%%s |\n", b, old.CasesPerSec, now.CasesPerSec, delta, mark)
+	}
+	fmt.Println()
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "amulet-benchdiff: no common benchmarks to compare")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Printf("**FAIL**: cases/s regressed more than %.0f%% against the baseline.\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: no benchmark regressed more than %.0f%%.\n", *maxRegress)
+}
+
+func sortedKeys(m map[string]record) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amulet-benchdiff:", err)
+	os.Exit(2)
+}

@@ -26,7 +26,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		program = flag.Int("program", 0, "program index within the seed's stream")
 		input   = flag.Int("input", 0, "input index within the program")
-		prime   = flag.Bool("prime", true, "prime the L1D with conflicting lines before the run")
+		prime   = flag.Bool("prime", true, "fill-prime the L1D (and D-TLB) with conflicting lines before the run, as campaigns do")
 	)
 	flag.Parse()
 
@@ -65,7 +65,7 @@ func main() {
 	}
 	core.ResetUarch()
 	if *prime {
-		core.Hier.PrimeL1D()
+		core.Hier.PrimeL1D(false)
 	}
 	core.Log.Enabled = true
 	core.ResetForInput(in)

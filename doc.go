@@ -18,6 +18,35 @@
 // implementation bugs the paper discovered and patch switches — and the
 // fuzzer, analysis and experiment layers on top.
 //
+// # Cache priming between test cases (executor.PrimeMode)
+//
+// Before every test case the executor re-establishes a canonical
+// memory-system state; which one is part of each defense's campaign
+// configuration (paper §3.2 C2 and §3.5):
+//
+//   - PrimeFill simulates a fill request for every L1D set × way with
+//     conflicting out-of-sandbox addresses, so leaks show through installs
+//     AND evictions; the priming pages displace the D-TLB the same way.
+//     InvisiSpec and STT campaigns use it — the extra simulated requests
+//     are why those campaigns run slower than CleanupSpec/SpecLFB
+//     (Table 4).
+//   - PrimeInvalidate resets L1D, L1I and D-TLB through a direct simulator
+//     hook, starting every case from a clean state (CleanupSpec, SpecLFB).
+//   - PrimeNone leaves all state from the previous case (ablations only).
+//
+// Neither mode touches the L2: as in the paper's setup, the L2 stays warm
+// across the inputs of a program, so the first input of a program runs
+// with a cold L2 and later inputs see realistic hit latencies; the fill
+// prime drops its own lines' L2 copies again so only sandbox lines stay.
+//
+// Both modes are implemented once, in mem.Hierarchy (PrimeL1D and
+// PrimeInvalidate), shared by the executor and the gadget tests. By
+// default the hierarchy's dirty-set tracking makes the prime incremental —
+// only the sets, TLB entries and transient structures the previous case
+// dirtied are re-primed, bit-identical to the full prime (pinned by
+// TestViolationSetDeterminism and the mem prime tests);
+// executor.Config.FullPrime forces the reference full prime.
+//
 // Entry points:
 //
 //   - cmd/amulet: run campaigns and regenerate the paper's tables

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/sith-lab/amulet-go/internal/isa"
-	"github.com/sith-lab/amulet-go/internal/mem"
 	"github.com/sith-lab/amulet-go/internal/uarch"
 )
 
@@ -83,6 +82,12 @@ type Config struct {
 	// through the full pipeline, so its cost scales with simulator fidelity
 	// exactly as gem5's does. Zero selects the default.
 	BootInsts int
+
+	// FullPrime disables the incremental dirty-set prime and runs the
+	// reference full prime before every test case. The resulting state is
+	// bit-identical either way (the determinism tests pin that), so this
+	// exists only for regression pinning and A/B measurement.
+	FullPrime bool
 }
 
 // DefaultBootInsts is the default startup workload length.
@@ -91,7 +96,8 @@ const DefaultBootInsts = 20000
 // Metrics breaks down where executor time went (paper Table 2).
 type Metrics struct {
 	Startup      time.Duration // simulator start (boot workload)
-	Simulate     time.Duration // test-case simulation (incl. cache priming)
+	Prime        time.Duration // per-case cache/TLB priming
+	Simulate     time.Duration // test-case simulation (excl. priming)
 	TraceExtract time.Duration // µarch trace extraction
 	Starts       int           // simulator starts
 	BootRuns     int           // boot workloads actually simulated
@@ -101,6 +107,7 @@ type Metrics struct {
 // Add accumulates other into m.
 func (m *Metrics) Add(other Metrics) {
 	m.Startup += other.Startup
+	m.Prime += other.Prime
 	m.Simulate += other.Simulate
 	m.TraceExtract += other.TraceExtract
 	m.Starts += other.Starts
@@ -114,6 +121,7 @@ func (m *Metrics) Add(other Metrics) {
 func (m Metrics) Minus(other Metrics) Metrics {
 	return Metrics{
 		Startup:      m.Startup - other.Startup,
+		Prime:        m.Prime - other.Prime,
 		Simulate:     m.Simulate - other.Simulate,
 		TraceExtract: m.TraceExtract - other.TraceExtract,
 		Starts:       m.Starts - other.Starts,
@@ -272,8 +280,10 @@ func (e *Executor) RunValidationPair(a, b *isa.Input) (trA, trB *UTrace, err err
 }
 
 func (e *Executor) runOnce(in *isa.Input) (*UTrace, error) {
-	t0 := time.Now()
+	tp := time.Now()
 	e.prime()
+	t0 := time.Now()
+	e.met.Prime += t0.Sub(tp)
 	e.core.ResetForInput(in)
 	err := e.core.Run()
 	e.met.Simulate += time.Since(t0)
@@ -401,69 +411,40 @@ func (e *Executor) runBoot() {
 		if err := e.core.LoadTest(saveProg, saveSB); err != nil {
 			panic(fmt.Sprintf("executor: reloading test program failed: %v", err))
 		}
+	} else {
+		// No test program was loaded when the boot ran: restore a defined
+		// empty state instead of leaving the boot program and its sandbox
+		// mapped (Run keeps failing with "before LoadProgram", and the next
+		// LoadProgram rebuilds the image from scratch).
+		e.core.ClearTest()
 	}
 }
 
 // prime resets the memory-system state ahead of a test case according to
-// the configured mode.
+// the configured mode. The actual prime semantics live in mem.Hierarchy
+// (PrimeL1D / PrimeInvalidate), shared with the gadget tests so the two
+// can never diverge; by default the hierarchy's dirty tracking makes the
+// prime incremental — bit-identical to the full prime, but touching only
+// the sets and entries the previous case dirtied.
 func (e *Executor) prime() {
 	h := e.core.Hier
+	incremental := !e.cfg.FullPrime
 	// Neither mode touches the L2: like the paper's setup, only the L1D
 	// (and TLB) are reset between inputs, so the L2 stays warm across the
 	// inputs of a program and speculative fills land within the test
 	// (first input of a program runs with a cold L2, later ones warm).
-	//
-	// When the trace format observes the L1I (the KV1/KV2 campaigns), the
-	// attacker primes the instruction cache as well; otherwise a warm L1I
-	// absorbs the timing-driven fetch-ahead differences the format exists
-	// to expose.
-	if e.cfg.Format == FormatL1DTLBL1I {
-		h.L1I.InvalidateAll()
-	}
 	switch e.cfg.Prime {
 	case PrimeFill:
-		// Simulate the fill requests: each conflicting address is brought
-		// in through the hierarchy, which is what makes this mode cost
-		// simulation time proportional to sets x ways.
-		h.L1D.InvalidateAll()
-		h.DTLB.InvalidateAll()
-		h.LFBuf.Reset()
-		h.MSHR.Reset()
-		h.DropPendingFills()
-		now := uint64(0)
-		cfg := h.Cfg.L1D
-		for w := 0; w < cfg.Ways; w++ {
-			for s := 0; s < cfg.Sets; s++ {
-				addr := h.ConflictAddr(s, w)
-				res := h.AccessData(now, addr, mem.DataAccessOpts{
-					UpdateLRU: true, Sink: mem.SinkCache, NoMSHR: true,
-				})
-				now += uint64(res.Latency)
-				h.Tick(now)
-				// Each fill page also displaces a TLB entry, evicting any
-				// sandbox translations (the paper resets the TLB this way
-				// for InvisiSpec and STT).
-				h.DTLB.Install(addr / isa.PageSize)
-			}
+		// When the trace format observes the L1I (the KV1/KV2 campaigns),
+		// the attacker primes the instruction cache as well; otherwise a
+		// warm L1I absorbs the timing-driven fetch-ahead differences the
+		// format exists to expose.
+		if e.cfg.Format == FormatL1DTLBL1I {
+			h.InvalidateL1I(incremental)
 		}
-		h.Tick(^uint64(0) >> 1)
-		// The priming lines' L2 copies are dropped again (they conflict
-		// with nothing and only the L1D occupancy matters), keeping the L2
-		// for sandbox lines.
-		for w := 0; w < cfg.Ways; w++ {
-			for s := 0; s < cfg.Sets; s++ {
-				h.L2.Invalidate(h.ConflictAddr(s, w))
-			}
-		}
-		h.MSHR.Reset()
-		h.DropPendingFills()
+		h.PrimeL1D(incremental)
 	case PrimeInvalidate:
-		h.L1D.InvalidateAll()
-		h.L1I.InvalidateAll()
-		h.DTLB.InvalidateAll()
-		h.LFBuf.Reset()
-		h.MSHR.Reset()
-		h.DropPendingFills()
+		h.PrimeInvalidate(incremental)
 	case PrimeNone:
 		// Leave everything as the previous test case left it.
 	}

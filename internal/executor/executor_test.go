@@ -195,6 +195,97 @@ func TestTraceFormats(t *testing.T) {
 	}
 }
 
+// TestIncrementalPrimeMatchesFullPrime runs the same program and inputs
+// under the default incremental prime and under Config.FullPrime, for both
+// prime modes and with the Opt strategy (so later inputs see exactly the
+// state earlier inputs dirtied). Every trace must be identical: the
+// incremental prime is a pure constant-factor optimization.
+func TestIncrementalPrimeMatchesFullPrime(t *testing.T) {
+	for _, mode := range []PrimeMode{PrimeFill, PrimeInvalidate} {
+		prog, sb, inA, inB := genProgram(21)
+		inputs := []*isa.Input{inA, inB, inA, inB, inA}
+		run := func(full bool) []*UTrace {
+			cfg := testConfig(StrategyOpt, mode)
+			cfg.FullPrime = full
+			e := New(cfg, nil)
+			if err := e.LoadProgram(prog, sb); err != nil {
+				t.Fatal(err)
+			}
+			var trs []*UTrace
+			for _, in := range inputs {
+				tr, err := e.Run(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				trs = append(trs, tr)
+			}
+			return trs
+		}
+		fullTr, incrTr := run(true), run(false)
+		for i := range fullTr {
+			if !fullTr[i].Equal(incrTr[i]) {
+				t.Errorf("%v input %d: incremental prime diverged from full prime:\n%s",
+					mode, i, fullTr[i].Diff(incrTr[i]))
+			}
+		}
+	}
+}
+
+// TestMetricsPrimeBucket: priming time is attributed to Metrics.Prime, not
+// folded into Simulate, and survives the Add/Minus snapshot accounting.
+func TestMetricsPrimeBucket(t *testing.T) {
+	prog, sb, in, _ := genProgram(22)
+	e := New(testConfig(StrategyOpt, PrimeFill), nil)
+	if err := e.LoadProgram(prog, sb); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Metrics()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.Metrics().Minus(before)
+	if m.Prime <= 0 {
+		t.Errorf("PrimeFill runs recorded no Prime time: %+v", m)
+	}
+	if m.Simulate <= 0 {
+		t.Errorf("no Simulate time recorded: %+v", m)
+	}
+	var sum Metrics
+	sum.Add(before)
+	sum.Add(m)
+	if sum.Prime != e.Metrics().Prime {
+		t.Errorf("Add/Minus round trip lost Prime time")
+	}
+}
+
+// TestBootWithoutProgramLeavesDefinedState: a boot that runs while no test
+// program is loaded must not leave the boot program and its sandbox mapped
+// — the core ends in a defined empty state and a later LoadProgram works
+// from scratch.
+func TestBootWithoutProgramLeavesDefinedState(t *testing.T) {
+	e := New(testConfig(StrategyOpt, PrimeFill), nil)
+	e.startup() // boots with e.prog == nil
+	if e.core.Program() != nil {
+		t.Fatalf("boot program left loaded after a no-program startup")
+	}
+	if _, err := e.Run(isa.NewInput(isa.Sandbox{Pages: 1})); err == nil {
+		t.Fatalf("Run succeeded against the leaked boot state")
+	}
+	prog, sb, in, _ := genProgram(23)
+	if err := e.LoadProgram(prog, sb); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.L1D) == 0 {
+		t.Errorf("post-recovery run produced an empty trace")
+	}
+}
+
 func TestPrimeModesDiffer(t *testing.T) {
 	prog, sb, in, _ := genProgram(8)
 	runWith := func(p PrimeMode) *UTrace {

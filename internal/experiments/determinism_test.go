@@ -35,9 +35,11 @@ func violationFingerprint(vs []*fuzzer.Violation) uint64 {
 // golden fingerprints captured before the allocation-free hot-path rewrite
 // (scratch arenas, bitset usage tracking, fill-queue heap, hash-first trace
 // comparison). It fails if any optimization — present or future — shifts a
-// single violating input byte, and it runs the same budget at two worker
-// counts to hold the engine's schedule-independence contract at the same
-// time.
+// single violating input byte. Each budget runs at two worker counts (the
+// engine's schedule-independence contract) and both with the default
+// incremental dirty-set prime and with the reference full prime
+// (Config.FullPrime): all four runs must hit the same golden fingerprint,
+// which is what pins the incremental prime as bit-identical.
 func TestViolationSetDeterminism(t *testing.T) {
 	golden := []struct {
 		defense     string
@@ -50,23 +52,26 @@ func TestViolationSetDeterminism(t *testing.T) {
 	}
 	for _, g := range golden {
 		for _, workers := range []int{1, 4} {
-			spec, err := experiments.DefenseByName(g.defense)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
-			ccfg := experiments.CampaignConfig(spec, sc)
-			res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: workers})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(res.Violations) != g.violations {
-				t.Errorf("%s workers=%d: %d violations, want %d",
-					g.defense, workers, len(res.Violations), g.violations)
-			}
-			if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
-				t.Errorf("%s workers=%d: violation-set fingerprint %#x, want %#x",
-					g.defense, workers, fp, g.fingerprint)
+			for _, fullPrime := range []bool{false, true} {
+				spec, err := experiments.DefenseByName(g.defense)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+				ccfg := experiments.CampaignConfig(spec, sc)
+				ccfg.Base.Exec.FullPrime = fullPrime
+				res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Violations) != g.violations {
+					t.Errorf("%s workers=%d fullPrime=%v: %d violations, want %d",
+						g.defense, workers, fullPrime, len(res.Violations), g.violations)
+				}
+				if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
+					t.Errorf("%s workers=%d fullPrime=%v: violation-set fingerprint %#x, want %#x",
+						g.defense, workers, fullPrime, fp, g.fingerprint)
+				}
 			}
 		}
 	}

@@ -15,8 +15,8 @@ import (
 // is an order of magnitude faster per program.
 func Table2(ctx context.Context, scale Scale) (*Table, error) {
 	type breakdown struct {
-		startup, simulate, trace, gen, model, total time.Duration
-		perProgram                                  time.Duration
+		startup, prime, simulate, trace, gen, model, total time.Duration
+		perProgram                                         time.Duration
 	}
 	run := func(strategy executor.Strategy) (*breakdown, error) {
 		spec, err := DefenseByName("baseline")
@@ -42,6 +42,7 @@ func Table2(ctx context.Context, scale Scale) (*Table, error) {
 		m := res.Metrics
 		b := &breakdown{
 			startup:  m.Startup,
+			prime:    m.Prime,
 			simulate: m.Simulate,
 			trace:    m.TraceExtract,
 			gen:      res.GenTime,
@@ -68,7 +69,7 @@ func Table2(ctx context.Context, scale Scale) (*Table, error) {
 		}
 	}
 	other := func(b *breakdown) time.Duration {
-		o := b.total - b.startup - b.simulate - b.trace - b.gen - b.model
+		o := b.total - b.startup - b.prime - b.simulate - b.trace - b.gen - b.model
 		if o < 0 {
 			o = 0
 		}
@@ -79,6 +80,7 @@ func Table2(ctx context.Context, scale Scale) (*Table, error) {
 		Header: []string{"Component", "Naive", "Opt"},
 		Rows: [][]string{
 			row("simulator startup", naive.startup, opt.startup),
+			row("cache priming", naive.prime, opt.prime),
 			row("simulator simulate", naive.simulate, opt.simulate),
 			row("µTrace extraction", naive.trace, opt.trace),
 			row("test generation", naive.gen, opt.gen),

@@ -60,10 +60,13 @@ func steadyStateCase(t testing.TB) (Config, *executor.Executor, *ProgramCase) {
 
 // TestExecuteCaseSteadyStateAllocs pins the per-program allocation budget of
 // the execute→compare loop. After warm-up (arena chunks, trace freelist,
-// fill-queue buffers all sized), one ExecuteCase — priming, resetting and
+// fill-queue buffers, snapshot-merge scratch and the incremental prime's
+// replay list all sized), one ExecuteCase — priming, resetting and
 // simulating four inputs and comparing their traces — may allocate only the
 // per-class trace-scratch slice. Anything above the pinned budget means an
-// allocation crept back into the simulation hot path.
+// allocation crept back into the simulation hot path; the dirty-set prime
+// tracking in particular must stay allocation-free (see also
+// mem.TestPrimeIncrementalAllocFree).
 func TestExecuteCaseSteadyStateAllocs(t *testing.T) {
 	cfg, exec, pc := steadyStateCase(t)
 	ctx := context.Background()

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/sith-lab/amulet-go/internal/isa"
 )
@@ -139,7 +140,36 @@ type Hierarchy struct {
 	// cycle wait for it. CleanupSpec's rollback raises it, putting cleanup
 	// work on the critical path of execution (the unXpec timing channel).
 	portBusyUntil uint64
+
+	// lastPrime records which canonical state the structures' dirty
+	// tracking is relative to. The incremental prime paths only engage when
+	// the previous prime was of the same kind; any other transition (a
+	// Reset, a checkpoint Restore, a mode switch) falls back to the full
+	// prime, which is always correct.
+	lastPrime primeKind
+
+	// Prime template: the canonical post-fill-prime L1D and D-TLB state,
+	// captured once from a real full prime (the state is independent of
+	// what preceded the prime, so one capture serves every later prime).
+	tplValid   bool
+	tplL1D     []cacheLine
+	tplL1DTick uint64
+	tplTLB     []tlbEntry
+	tplTLBTick uint64
+
+	// primeReplay is the reused scratch list of conflict lines whose L2
+	// sets were dirtied and therefore need the install+invalidate replay.
+	primeReplay []uint64
 }
+
+// primeKind distinguishes the canonical states a prime establishes.
+type primeKind uint8
+
+const (
+	primeKindNone       primeKind = iota // no prime since the last bulk state change
+	primeKindFill                        // PrimeL1D: primed L1D + primed D-TLB
+	primeKindInvalidate                  // PrimeInvalidate: empty L1D/L1I/D-TLB
+)
 
 // NewHierarchy builds the hierarchy. It panics on invalid configuration.
 func NewHierarchy(cfg HierConfig) *Hierarchy {
@@ -168,6 +198,7 @@ func (h *Hierarchy) Reset() {
 	h.pending = h.pending[:0]
 	h.nextFillID = 0
 	h.portBusyUntil = 0
+	h.lastPrime = primeKindNone
 }
 
 // Tick applies every pending fill due at or before cycle now and returns
@@ -306,6 +337,7 @@ func (h *Hierarchy) Restore(st *HierState) {
 	h.MSHR.Reset()
 	h.LFBuf.Reset()
 	h.DropPendingFills()
+	h.lastPrime = primeKindNone
 }
 
 // CancelFill marks an in-flight fill as cancelled (squash paths of
@@ -465,7 +497,198 @@ func (h *Hierarchy) ConflictAddr(set, way int) uint64 {
 	return PrimeBase + (uint64(way)*sets+uint64(set))*uint64(h.Cfg.L1D.LineSize)
 }
 
-// PrimeL1D fills every L1D set with conflicting out-of-sandbox addresses.
-func (h *Hierarchy) PrimeL1D() {
-	h.L1D.Prime(h.ConflictAddr)
+// DrainFills applies every in-flight fill by ticking exactly to each next
+// ready-cycle until the queue is empty. Unlike a far-future sentinel tick,
+// the clock never advances past the last scheduled ready-cycle, so no
+// sentinel-derived value can exist anywhere afterwards. (LRU timestamps are
+// use-order counters, never cycles, so they were sentinel-proof already;
+// the pending-fill ready-cycles this drains are the only cycle-domain state
+// a prime creates.)
+func (h *Hierarchy) DrainFills() {
+	for len(h.pending) > 0 {
+		h.Tick(h.pending[0].at)
+	}
+}
+
+// PrimeL1D performs the paper's fill prime (§3.2 C2): every L1D set is
+// filled with conflicting out-of-sandbox addresses by simulating the fill
+// requests through the hierarchy — which also displaces the D-TLB with the
+// priming pages — and the priming lines' L2 copies are dropped again so the
+// L2 stays warm with sandbox lines across the inputs of a program. This is
+// the single shared implementation behind both the executor's per-case
+// prime and the gadget tests' primed runs.
+//
+// With incremental set, and when the previous prime was also a fill prime,
+// only the state the last test case dirtied is re-primed: dirty L1D sets
+// are restored from the canonical template, the D-TLB is rebuilt only if
+// touched, and the L2 install+invalidate pass replays only the conflict
+// lines whose L2 sets were mutated (for an untouched L2 set the full pass
+// is a no-op apart from the LRU clock, which is advanced to compensate).
+// The result is bit-identical to the full prime, pinned by tests.
+func (h *Hierarchy) PrimeL1D(incremental bool) {
+	if incremental && h.lastPrime == primeKindFill && h.tplValid {
+		h.primeFillIncremental()
+	} else {
+		h.primeFillFull()
+	}
+	h.lastPrime = primeKindFill
+}
+
+// primeFillFull is the reference fill prime: correct from any prior state.
+func (h *Hierarchy) primeFillFull() {
+	h.L1D.InvalidateAll()
+	h.DTLB.InvalidateAll()
+	h.LFBuf.Reset()
+	h.MSHR.Reset()
+	h.DropPendingFills()
+	now := uint64(0)
+	cfg := h.Cfg.L1D
+	for w := 0; w < cfg.Ways; w++ {
+		for s := 0; s < cfg.Sets; s++ {
+			addr := h.ConflictAddr(s, w)
+			res := h.AccessData(now, addr, DataAccessOpts{
+				UpdateLRU: true, Sink: SinkCache, NoMSHR: true,
+			})
+			now += uint64(res.Latency)
+			h.Tick(now)
+			// Each fill page also displaces a TLB entry, evicting any
+			// sandbox translations (the paper resets the TLB this way
+			// for InvisiSpec and STT).
+			h.DTLB.Install(addr / isa.PageSize)
+		}
+	}
+	h.DrainFills()
+	// The priming lines' L2 copies are dropped again (they conflict with
+	// nothing and only the L1D occupancy matters), keeping the L2 for
+	// sandbox lines.
+	for w := 0; w < cfg.Ways; w++ {
+		for s := 0; s < cfg.Sets; s++ {
+			h.L2.Invalidate(h.ConflictAddr(s, w))
+		}
+	}
+	h.MSHR.Reset()
+	h.DropPendingFills()
+
+	// The post-prime L1D and D-TLB state depends only on the geometry:
+	// capture it once as the template incremental primes restore from.
+	if !h.tplValid {
+		h.tplL1D = append(h.tplL1D[:0], h.L1D.lines...)
+		h.tplL1DTick = h.L1D.useTick
+		h.tplTLB = append(h.tplTLB[:0], h.DTLB.entries...)
+		h.tplTLBTick = h.DTLB.useTick
+		h.tplValid = true
+	}
+	h.L1D.clearDirtyBits()
+	h.L2.clearDirtyBits()
+	h.DTLB.clearTouched()
+}
+
+// primeFillIncremental re-establishes the full prime's exact post-state by
+// touching only what the previous case dirtied.
+func (h *Hierarchy) primeFillIncremental() {
+	// L1D: clean sets already hold the canonical primed lines; restore the
+	// dirty ones from the template and rewind the LRU clock.
+	l1 := h.L1D
+	ways := l1.cfg.Ways
+	for wi, word := range l1.dirty {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := wi<<6 + b
+			if s >= l1.cfg.Sets {
+				break
+			}
+			base := s * ways
+			copy(l1.lines[base:base+ways], h.tplL1D[base:base+ways])
+		}
+		l1.dirty[wi] = 0
+	}
+	l1.useTick = h.tplL1DTick
+
+	if h.DTLB.touched {
+		copy(h.DTLB.entries, h.tplTLB)
+		h.DTLB.useTick = h.tplTLBTick
+		h.DTLB.clearTouched()
+	}
+	if h.MSHR.Used() {
+		h.MSHR.Reset()
+	}
+	if h.LFBuf.Used() {
+		h.LFBuf.Reset()
+	}
+	h.DropPendingFills()
+
+	// L2: the full prime installs then invalidates every conflict line, in
+	// (way, set) order with the invalidation pass trailing all installs.
+	// For an L2 set untouched since the previous prime that sequence is a
+	// no-op — the way the conflict line vacated is still invalid, so the
+	// install takes it back and the invalidate frees it — except for the
+	// LRU clock, which advances once per install. Replay only the lines in
+	// dirtied L2 sets (where the install can genuinely evict a sandbox
+	// line) and advance the clock for the skipped no-ops.
+	cfg := h.Cfg.L1D
+	replay := h.primeReplay[:0]
+	for w := 0; w < cfg.Ways; w++ {
+		for s := 0; s < cfg.Sets; s++ {
+			if cl := h.ConflictAddr(s, w); h.L2.dirtyAt(cl) {
+				replay = append(replay, cl)
+			}
+		}
+	}
+	for _, cl := range replay {
+		h.L2.Install(cl)
+	}
+	for _, cl := range replay {
+		h.L2.Invalidate(cl)
+	}
+	h.primeReplay = replay
+	h.L2.useTick += uint64(cfg.Ways*cfg.Sets - len(replay))
+	h.L2.clearDirtyBits()
+}
+
+// PrimeInvalidate resets the L1D, L1I, D-TLB and transient structures to a
+// clean state through the direct simulator hook (CleanupSpec and SpecLFB
+// campaigns). The L2 is deliberately left warm, exactly as in the fill
+// prime. With incremental set, and when the previous prime was also an
+// invalidate prime, only the sets and entries dirtied since then are
+// cleared — bit-identical to the full reset.
+func (h *Hierarchy) PrimeInvalidate(incremental bool) {
+	if incremental && h.lastPrime == primeKindInvalidate {
+		h.L1D.InvalidateDirty()
+		h.L1I.InvalidateDirty()
+		if h.DTLB.touched {
+			h.DTLB.InvalidateAll()
+			h.DTLB.clearTouched()
+		}
+		if h.MSHR.Used() {
+			h.MSHR.Reset()
+		}
+		if h.LFBuf.Used() {
+			h.LFBuf.Reset()
+		}
+		h.DropPendingFills()
+	} else {
+		h.L1D.InvalidateAll()
+		h.L1I.InvalidateAll()
+		h.DTLB.InvalidateAll()
+		h.LFBuf.Reset()
+		h.MSHR.Reset()
+		h.DropPendingFills()
+		h.L1D.clearDirtyBits()
+		h.L1I.clearDirtyBits()
+		h.DTLB.clearTouched()
+	}
+	h.lastPrime = primeKindInvalidate
+}
+
+// InvalidateL1I clears the instruction cache ahead of a test case (trace
+// formats that observe the L1I). The incremental path clears only the sets
+// instruction fetch dirtied since the last clear.
+func (h *Hierarchy) InvalidateL1I(incremental bool) {
+	if incremental {
+		h.L1I.InvalidateDirty()
+	} else {
+		h.L1I.InvalidateAll()
+		h.L1I.clearDirtyBits()
+	}
 }

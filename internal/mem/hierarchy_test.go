@@ -195,10 +195,20 @@ func TestConflictAddrMapsToSet(t *testing.T) {
 
 func TestPrimeL1DFillsAllSets(t *testing.T) {
 	h := NewHierarchy(DefaultHierConfig())
-	h.PrimeL1D()
+	h.PrimeL1D(false)
 	cfg := h.Cfg.L1D
 	if h.L1D.ValidCount() != cfg.Sets*cfg.Ways {
 		t.Errorf("prime filled %d of %d", h.L1D.ValidCount(), cfg.Sets*cfg.Ways)
+	}
+	if h.DTLB.SnapshotInto(nil) == nil {
+		t.Errorf("fill prime left the D-TLB empty; the priming pages must displace it")
+	}
+	for s := 0; s < cfg.Sets; s += 9 {
+		for w := 0; w < cfg.Ways; w++ {
+			if h.L2.Contains(h.ConflictAddr(s, w)) {
+				t.Fatalf("priming line (%d,%d) left in the L2", s, w)
+			}
+		}
 	}
 }
 

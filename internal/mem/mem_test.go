@@ -93,16 +93,35 @@ func TestCacheSnapshotSorted(t *testing.T) {
 	}
 }
 
-func TestCachePrimeFillsEverything(t *testing.T) {
-	c := testCache()
-	c.Prime(func(set, way int) uint64 {
-		return uint64(0x10000 + set*64 + way*1024)
-	})
-	if c.ValidCount() != 8 {
-		t.Errorf("prime filled %d of 8 lines", c.ValidCount())
+func TestCacheInvalidateDirtyMatchesInvalidateAll(t *testing.T) {
+	// Starting from the same canonical empty state, an InvalidateDirty
+	// after arbitrary traffic must be bit-identical to an InvalidateAll.
+	a, b := testCache(), testCache()
+	a.InvalidateAll()
+	a.clearDirtyBits()
+	b.InvalidateAll()
+	b.clearDirtyBits()
+	traffic := func(c *Cache) {
+		c.Install(0x100)
+		c.Install(0x200)
+		c.Touch(0x100)
+		c.EvictVictim(0x300)
+		c.Invalidate(0x200)
 	}
-	if !c.SetFull(0x10000) {
-		t.Errorf("set not full after prime")
+	traffic(a)
+	traffic(b)
+	a.InvalidateDirty()
+	b.InvalidateAll()
+	if a.useTick != b.useTick {
+		t.Errorf("useTick %d != %d", a.useTick, b.useTick)
+	}
+	for i := range a.lines {
+		if a.lines[i] != b.lines[i] {
+			t.Errorf("line %d differs: %+v vs %+v", i, a.lines[i], b.lines[i])
+		}
+	}
+	if a.ValidCount() != 0 {
+		t.Errorf("InvalidateDirty left %d valid lines", a.ValidCount())
 	}
 }
 
@@ -142,8 +161,13 @@ func TestCacheInvariantsProperty(t *testing.T) {
 			return false
 		}
 		seen := map[uint64]bool{}
-		for _, la := range snap {
+		for i, la := range snap {
 			if seen[la] || la%64 != 0 {
+				return false
+			}
+			// The per-set-merge snapshot must stay strictly sorted — the
+			// property the trace comparison relies on.
+			if i > 0 && snap[i-1] >= la {
 				return false
 			}
 			seen[la] = true

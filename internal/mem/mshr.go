@@ -9,7 +9,14 @@ import "sort"
 // attack on InvisiSpec (UV2), amplified by configuring few entries.
 type MSHRFile struct {
 	entries []mshrEntry
+
+	// used flags any allocation since the last Reset, so the incremental
+	// prime can skip resetting an already-clean file.
+	used bool
 }
+
+// Used reports whether any entry was allocated since the last Reset.
+func (m *MSHRFile) Used() bool { return m.used }
 
 type mshrEntry struct {
 	addr      uint64 // line address
@@ -70,6 +77,7 @@ func (m *MSHRFile) EarliestFree(now uint64) uint64 {
 // over-allocation would hide exactly the contention this model exists to
 // expose.
 func (m *MSHRFile) Alloc(start, until uint64, lineAddr uint64) {
+	m.used = true
 	for i := range m.entries {
 		if m.entries[i].busyUntil <= start {
 			m.entries[i] = mshrEntry{addr: lineAddr, busyUntil: until}
@@ -84,6 +92,7 @@ func (m *MSHRFile) Reset() {
 	for i := range m.entries {
 		m.entries[i] = mshrEntry{}
 	}
+	m.used = false
 }
 
 // Busy returns the line addresses of entries still busy at cycle now,

@@ -9,6 +9,11 @@ import "slices"
 type TLB struct {
 	entries []tlbEntry
 	useTick uint64
+
+	// touched flags any mutation (install, LRU-updating hit, bulk reset)
+	// since the last clearTouched. The incremental prime skips the TLB
+	// rebuild entirely when a test case never touched a translation.
+	touched bool
 }
 
 // tlbEntry packs validity and the page number into one key word (page+1,
@@ -28,8 +33,12 @@ func NewTLB(n int) *TLB {
 	if n < 1 {
 		panic("mem: TLB size must be at least 1")
 	}
-	return &TLB{entries: make([]tlbEntry, n)}
+	return &TLB{entries: make([]tlbEntry, n), touched: true}
 }
+
+// clearTouched resets the mutation flag. Only the prime paths call it,
+// right after re-establishing a canonical TLB state.
+func (t *TLB) clearTouched() { t.touched = false }
 
 // Size returns the number of entries.
 func (t *TLB) Size() int { return len(t.entries) }
@@ -41,6 +50,7 @@ func (t *TLB) Touch(page uint64) bool {
 		if t.entries[i].key == key {
 			t.useTick++
 			t.entries[i].lastUse = t.useTick
+			t.touched = true
 			return true
 		}
 	}
@@ -81,6 +91,7 @@ func (t *TLB) Install(page uint64) (victim uint64, evicted bool) {
 	}
 	t.useTick++
 	t.entries[lruIdx] = tlbEntry{key: page + 1, lastUse: t.useTick}
+	t.touched = true
 	return victim, evicted
 }
 
@@ -88,6 +99,7 @@ func (t *TLB) Install(page uint64) (victim uint64, evicted bool) {
 func (t *TLB) InvalidateAll() {
 	clear(t.entries)
 	t.useTick = 0
+	t.touched = true
 }
 
 // TLBState is an opaque copy of the TLB content (violation validation).
@@ -116,6 +128,7 @@ func (t *TLB) Restore(st *TLBState) {
 	}
 	copy(t.entries, st.entries)
 	t.useTick = st.useTick
+	t.touched = true
 }
 
 // Snapshot returns the sorted virtual page numbers currently cached: the

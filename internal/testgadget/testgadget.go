@@ -90,7 +90,11 @@ func RunWithSetup(core *uarch.Core, prog *isa.Program, sb isa.Sandbox, in *isa.I
 	}
 	core.ResetUarch()
 	if prime == PrimeFill {
-		core.Hier.PrimeL1D()
+		// The exact fill prime the executor runs before every test case —
+		// one shared implementation (mem.Hierarchy.PrimeL1D), so the gadget
+		// tests exercise the campaigns' real primed state (L1D conflict
+		// lines and the displaced D-TLB) and the two can never drift apart.
+		core.Hier.PrimeL1D(false)
 	}
 	if setup != nil {
 		setup(core)
