@@ -57,6 +57,7 @@ func main() {
 		mshrs      = flag.Int("mshrs", 0, "override MSHR count (leakage amplification)")
 		pages      = flag.Int("pages", 0, "override sandbox pages")
 		naive      = flag.Bool("naive", false, "use the Naive strategy (restart per input)")
+		schedule   = flag.String("schedule", "auto", "pipeline scheduler: auto, event, naive (A/B measurement; bit-identical results)")
 		format     = flag.String("format", "", "µarch trace format: l1d-tlb, l1d-tlb-l1i, bp-state, mem-order, branch-order")
 		stopFirst  = flag.Bool("stop-on-first", false, "stop each instance at its first confirmed violation")
 		report     = flag.Bool("report", false, "analyze and print violation reports (paper-figure style)")
@@ -157,6 +158,15 @@ func main() {
 	}
 	if *naive {
 		ccfg.Base.Exec.Strategy = executor.StrategyNaive
+	}
+	switch *schedule {
+	case "", "auto":
+	case "event":
+		ccfg.Base.Exec.Core.EventSchedule = true
+	case "naive":
+		ccfg.Base.Exec.Core.NaiveSchedule = true
+	default:
+		fatal(fmt.Errorf("unknown -schedule %q (auto, event, naive)", *schedule))
 	}
 	if *format != "" {
 		f, err := parseFormat(*format)

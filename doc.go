@@ -47,6 +47,26 @@
 // TestViolationSetDeterminism and the mem prime tests);
 // executor.Config.FullPrime forces the reference full prime.
 //
+// # Pipeline scheduling (uarch.Config.NaiveSchedule / EventSchedule)
+//
+// The out-of-order core has two bit-identical pipeline schedulers. The
+// reference path walks the ROB: every cycle writeback and issue scan all
+// entries (with a completion watermark skipping quiescent writeback
+// cycles), and the store-queue search, memory-order check and speculation
+// shadow re-derive their answers from the window. The event-driven path
+// (uarch/scheduler.go) replaces the walks with scheduler structures — a
+// short-latency writeback calendar plus (DoneAt, Seq) heap, a
+// wakeup-select ready list whose consumers of long-latency producers park
+// on the producer's wake list, dedicated seq-ordered load/store queues and
+// an unresolved-branch queue giving O(1) UnderShadow — all pre-allocated
+// and rewound per input. Same cycle counts, same debug-log records, same
+// traces, same coverage bits; TestSchedulerBitIdentity and the
+// determinism-suite sweep across {event, naive} x workers {1, 4} pin it.
+// With neither knob set the core picks by window size
+// (uarch.EventScheduleMinROB): at the paper's 64-entry ROB the scans win
+// on constant factors, at 128+ entries the event structures win and the
+// gap grows with the window (BenchmarkCoreRunLargeWindow).
+//
 // Entry points:
 //
 //   - cmd/amulet: run campaigns and regenerate the paper's tables

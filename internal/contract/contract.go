@@ -46,6 +46,34 @@ type Obs struct {
 // by executing a test case under a contract.
 type Trace []Obs
 
+// TracePool recycles contract trace buffers across test cases. One pool
+// belongs to one goroutine (the serial fuzzer, or one engine worker); it is
+// not safe for concurrent use. Get hands out an emptied recycled buffer (or
+// nil, which Model.CollectInto treats as "allocate fresh"), and Put returns
+// a buffer whose contents are dead.
+type TracePool struct {
+	free []Trace
+}
+
+// Get pops a recycled buffer, or returns nil when the pool is empty.
+func (p *TracePool) Get() Trace {
+	if p == nil || len(p.free) == 0 {
+		return nil
+	}
+	tr := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return tr[:0]
+}
+
+// Put returns a buffer to the pool. The caller must no longer read it.
+// Putting nil (or into a nil pool) is a no-op.
+func (p *TracePool) Put(tr Trace) {
+	if p == nil || tr == nil {
+		return
+	}
+	p.free = append(p.free, tr)
+}
+
 // Hash returns a 64-bit FNV-1a digest of the trace, used to partition inputs
 // into contract-equivalence classes.
 func (t Trace) Hash() uint64 {

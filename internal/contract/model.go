@@ -122,10 +122,16 @@ func NewModel(c Contract, p *isa.Program, sb isa.Sandbox) *Model {
 // call; callers that need it longer (none do — the mutator verifies mutants
 // through CollectTrace) must copy it.
 func (md *Model) Collect(in *isa.Input) (Trace, *Usage) {
+	return md.CollectInto(in, nil)
+}
+
+// CollectInto is Collect with a caller-owned trace buffer: the returned
+// trace is buf's backing array grown as needed, so a caller that recycles
+// buffers (the fuzzer's per-worker TracePool) collects traces without the
+// per-input copy allocation Collect pays. Passing nil allocates fresh.
+func (md *Model) CollectInto(in *isa.Input, buf Trace) (Trace, *Usage) {
 	md.run(in, true)
-	out := make(Trace, len(md.trace))
-	copy(out, md.trace)
-	return out, md.usage
+	return append(buf[:0], md.trace...), md.usage
 }
 
 // CollectTrace executes the test case and returns only its contract trace,

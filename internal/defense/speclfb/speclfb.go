@@ -88,27 +88,25 @@ func (s *SpecLFB) LoadAction(ld *uarch.DynInst, spec bool) uarch.LoadAction {
 }
 
 // isPrevNoUnsafe reports whether no older unsafe load exists in the LSQ —
-// the isPrevNoUnsafe() check whose effect the UV6 bug mishandles.
+// the isPrevNoUnsafe() check whose effect the UV6 bug mishandles. It runs
+// for every speculative load issue attempt, so it walks the core's
+// dedicated load queue (InFlightLoadsBefore) rather than the full ROB;
+// with the O(1) UnderShadow this turns the old O(ROB²) worst case into
+// O(older loads).
 func (s *SpecLFB) isPrevNoUnsafe(ld *uarch.DynInst) bool {
-	for _, older := range s.c.ROB() {
-		if older.Seq >= ld.Seq {
-			return true
-		}
-		if !older.IsLoad() || older.State == uarch.StCommitted || older.State == uarch.StSquashed {
-			continue
-		}
-		unsafe := false
-		switch older.State {
-		case uarch.StDispatched:
+	noUnsafe := true
+	s.c.InFlightLoadsBefore(ld.Seq, func(older *uarch.DynInst) bool {
+		unsafe := older.SpecAtIssue
+		if older.State == uarch.StDispatched {
 			unsafe = s.c.UnderShadow(older)
-		default:
-			unsafe = older.SpecAtIssue
 		}
 		if unsafe {
+			noUnsafe = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return noUnsafe
 }
 
 // StoreAction implements uarch.Defense.

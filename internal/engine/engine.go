@@ -55,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sith-lab/amulet-go/internal/contract"
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/generator"
@@ -364,6 +365,7 @@ func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strateg
 		return err
 	}
 	defer c.pool.Release(exec)
+	tp := &contract.TracePool{} // worker-lifetime contract-trace recycling
 	var errs []error
 	for {
 		if ctx.Err() != nil {
@@ -379,7 +381,7 @@ func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strateg
 		if int64(u.prog) > c.stopAt[u.inst].Load() {
 			continue
 		}
-		res, prog, err := c.runUnit(ctx, exec, strat, u)
+		res, prog, err := c.runUnit(ctx, exec, strat, u, tp)
 		c.results[u.inst][u.prog] = res
 		if c.progs != nil {
 			c.progs[u.inst][u.prog] = prog
@@ -407,13 +409,14 @@ func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strateg
 // executor, returning the unit-local result and the generated program
 // (metrics attributed by snapshot diff, since the executor is shared across
 // this worker's units).
-func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit) (*fuzzer.Result, *isa.Program, error) {
+func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit, tp *contract.TracePool) (*fuzzer.Result, *isa.Program, error) {
 	t0 := time.Now()
 	before := exec.Metrics()
 	res := &fuzzer.Result{}
 	var prog *isa.Program
 	ug, err := fuzzer.NewUnitGenStrategy(c.base, u.seed, strat)
 	if err == nil {
+		ug.SetTracePool(tp)
 		var pc *fuzzer.ProgramCase
 		if pc, err = ug.Case(ctx, u.prog); err == nil {
 			prog = pc.Prog

@@ -53,9 +53,12 @@ func (f TraceFormat) String() string {
 type UTrace struct {
 	Format TraceFormat
 
-	L1D []uint64 // sorted valid L1D line addresses
+	// Cache sections are in the snapshot's canonical set-major order
+	// (addresses sorted within each set, not globally — see
+	// mem.Cache.SnapshotInto); the TLB section is sorted.
+	L1D []uint64 // valid L1D line addresses, canonical order
 	TLB []uint64 // sorted D-TLB page numbers
-	L1I []uint64 // sorted valid L1I line addresses
+	L1I []uint64 // valid L1I line addresses, canonical order
 
 	BPDigest uint64 // branch-predictor state digest
 
@@ -256,9 +259,10 @@ func diffOrder(b *strings.Builder, name string, la, lb int, at func(int) (string
 }
 
 // setDiff returns the elements only in a and only in b via a sorted merge
-// walk — snapshot sections are produced sorted, so no maps or re-sorting
-// are needed. Unsorted inputs (hand-built traces in tests) are sorted into
-// scratch copies first.
+// walk. Inputs that are not globally sorted — cache sections arrive in the
+// snapshot's canonical set-major order, and tests hand-build traces — are
+// sorted into scratch copies first; this only runs when rendering a
+// violation diff, never on the comparison hot path.
 func setDiff(a, b []uint64) (onlyA, onlyB []uint64) {
 	a = sortedOrCopy(a)
 	b = sortedOrCopy(b)

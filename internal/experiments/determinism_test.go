@@ -36,10 +36,14 @@ func violationFingerprint(vs []*fuzzer.Violation) uint64 {
 // (scratch arenas, bitset usage tracking, fill-queue heap, hash-first trace
 // comparison). It fails if any optimization — present or future — shifts a
 // single violating input byte. Each budget runs at two worker counts (the
-// engine's schedule-independence contract) and both with the default
-// incremental dirty-set prime and with the reference full prime
-// (Config.FullPrime): all four runs must hit the same golden fingerprint,
-// which is what pins the incremental prime as bit-identical.
+// engine's schedule-independence contract), with both the default
+// incremental dirty-set prime and the reference full prime
+// (Config.FullPrime), and under both pipeline schedulers (the event-driven
+// wakeup structures forced on via Core.EventSchedule, and the reference
+// scan walks via Core.NaiveSchedule — which at this geometry is also what
+// the auto default picks): every combination must hit the same golden
+// fingerprint, which is what pins the incremental prime and the
+// event-driven scheduler as bit-identical.
 func TestViolationSetDeterminism(t *testing.T) {
 	golden := []struct {
 		defense     string
@@ -53,24 +57,28 @@ func TestViolationSetDeterminism(t *testing.T) {
 	for _, g := range golden {
 		for _, workers := range []int{1, 4} {
 			for _, fullPrime := range []bool{false, true} {
-				spec, err := experiments.DefenseByName(g.defense)
-				if err != nil {
-					t.Fatal(err)
-				}
-				sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
-				ccfg := experiments.CampaignConfig(spec, sc)
-				ccfg.Base.Exec.FullPrime = fullPrime
-				res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: workers})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if len(res.Violations) != g.violations {
-					t.Errorf("%s workers=%d fullPrime=%v: %d violations, want %d",
-						g.defense, workers, fullPrime, len(res.Violations), g.violations)
-				}
-				if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
-					t.Errorf("%s workers=%d fullPrime=%v: violation-set fingerprint %#x, want %#x",
-						g.defense, workers, fullPrime, fp, g.fingerprint)
+				for _, eventSched := range []bool{false, true} {
+					spec, err := experiments.DefenseByName(g.defense)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+					ccfg := experiments.CampaignConfig(spec, sc)
+					ccfg.Base.Exec.FullPrime = fullPrime
+					ccfg.Base.Exec.Core.EventSchedule = eventSched
+					ccfg.Base.Exec.Core.NaiveSchedule = !eventSched
+					res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Violations) != g.violations {
+						t.Errorf("%s workers=%d fullPrime=%v event=%v: %d violations, want %d",
+							g.defense, workers, fullPrime, eventSched, len(res.Violations), g.violations)
+					}
+					if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
+						t.Errorf("%s workers=%d fullPrime=%v event=%v: violation-set fingerprint %#x, want %#x",
+							g.defense, workers, fullPrime, eventSched, fp, g.fingerprint)
+					}
 				}
 			}
 		}

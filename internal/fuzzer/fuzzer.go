@@ -186,6 +186,7 @@ type Fuzzer struct {
 	mut  *generator.Mutator
 	exec *executor.Executor
 	def  uarch.Defense
+	tp   *contract.TracePool
 }
 
 // New builds a fuzzer. It returns an error on invalid configuration.
@@ -197,12 +198,22 @@ func New(cfg Config) (*Fuzzer, error) {
 	genCfg := cfg.Gen
 	genCfg.Seed = cfg.Seed
 	def := cfg.DefenseFactory()
+	exec := executor.New(cfg.Exec, def)
+	// A serial fuzzing instance keeps its one simulator alive for the whole
+	// campaign, exactly like a pooled engine worker: the first Opt start
+	// simulates the boot workload and checkpoints the post-boot context,
+	// later program loads restore it. Naive-strategy startups never use the
+	// checkpoint (per-input boot cost is what the Naive experiments
+	// measure), and the restore is behaviourally identical to re-booting,
+	// so violations are unchanged — TestViolationSetDeterminism pins it.
+	exec.EnableBootCheckpoint()
 	return &Fuzzer{
 		cfg:  cfg,
 		gen:  generator.New(genCfg),
 		mut:  generator.NewMutator(cfg.Seed^mutatorSeedMix, cfg.mutateRegs()),
-		exec: executor.New(cfg.Exec, def),
+		exec: exec,
 		def:  def,
+		tp:   &contract.TracePool{},
 	}, nil
 }
 
@@ -224,7 +235,7 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 		res.Metrics = f.exec.Metrics()
 	}
 	for p := 0; p < f.cfg.Programs; p++ {
-		pc, err := buildCase(ctx, f.cfg, f.gen, f.mut, generator.Random{}, p)
+		pc, err := buildCase(ctx, f.cfg, f.gen, f.mut, generator.Random{}, p, f.tp)
 		if err != nil {
 			finish()
 			return res, err
@@ -247,6 +258,10 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 type InputClass struct {
 	CTrace contract.Trace
 	Inputs []*isa.Input
+
+	// retained marks the class trace as referenced by a recorded Violation,
+	// excluding it from the post-execution recycle into the trace pool.
+	retained bool
 }
 
 // ProgramCase is the output of the generate and contract-model-collect
@@ -262,6 +277,10 @@ type ProgramCase struct {
 	GenTime         time.Duration
 	ModelTime       time.Duration
 	RejectedMutants int
+
+	// pool, when non-nil, recycles the class traces once ExecuteCase has
+	// compared (and possibly retained) them.
+	pool *contract.TracePool
 }
 
 // buildCase runs the generate + collect stages for program pIdx, drawing
@@ -269,8 +288,8 @@ type ProgramCase struct {
 // strategy. Only the streams, the strategy's frozen corpus and the contract
 // decide the outcome — never the µarch execution — so the generation side
 // of a campaign is deterministic in isolation.
-func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *generator.Mutator, strat generator.Strategy, pIdx int) (*ProgramCase, error) {
-	pc := &ProgramCase{Index: pIdx}
+func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *generator.Mutator, strat generator.Strategy, pIdx int, tp *contract.TracePool) (*ProgramCase, error) {
+	pc := &ProgramCase{Index: pIdx, pool: tp}
 	t0 := time.Now()
 	pc.Prog = strat.NewProgram(gen)
 	pc.SB = gen.Sandbox()
@@ -287,7 +306,7 @@ func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *g
 		base := gen.Input()
 		pc.GenTime += time.Since(t0)
 		t1 := time.Now()
-		ctrace, usage := model.Collect(base)
+		ctrace, usage := model.CollectInto(base, tp.Get())
 		h := ctrace.Hash()
 		cls, ok := classes[h]
 		if !ok {
@@ -303,6 +322,11 @@ func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *g
 				continue
 			}
 			cls.Inputs = append(cls.Inputs, mutant)
+		}
+		if ok {
+			// Duplicate of an existing class: the mutation loop above was
+			// the buffer's last reader, so it goes back to the pool.
+			tp.Put(ctrace)
 		}
 		pc.ModelTime += time.Since(t1)
 	}
@@ -322,6 +346,7 @@ type UnitGen struct {
 	gen   *generator.Generator
 	mut   *generator.Mutator
 	strat generator.Strategy
+	tp    *contract.TracePool
 }
 
 // NewUnitGen builds the generation state for one work unit with the blind
@@ -351,9 +376,15 @@ func NewUnitGenStrategy(cfg Config, seed int64, strat generator.Strategy) (*Unit
 	}, nil
 }
 
+// SetTracePool attaches a contract-trace recycle pool. Engine workers own
+// one pool each and hand it to every unit they run, so trace buffers are
+// reused across the worker's whole campaign even though the UnitGen itself
+// is per-unit state.
+func (u *UnitGen) SetTracePool(tp *contract.TracePool) { u.tp = tp }
+
 // Case runs the generate + collect stages for program pIdx.
 func (u *UnitGen) Case(ctx context.Context, pIdx int) (*ProgramCase, error) {
-	return buildCase(ctx, u.cfg, u.gen, u.mut, u.strat, pIdx)
+	return buildCase(ctx, u.cfg, u.gen, u.mut, u.strat, pIdx, u.tp)
 }
 
 // ExecuteCase runs the µarch execute → compare → validate stages of one
@@ -379,6 +410,19 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 			res.Coverage.Merge(cov)
 		}()
 	}
+	defer func() {
+		// The class traces have served their purpose (compared, and copied
+		// into violations by reference where retained): recycle the rest.
+		if pc.pool == nil {
+			return
+		}
+		for _, cls := range pc.Classes {
+			if !cls.retained && cls.CTrace != nil {
+				pc.pool.Put(cls.CTrace)
+				cls.CTrace = nil
+			}
+		}
+	}()
 	res.Programs++
 	res.GenTime += pc.GenTime
 	res.ModelTime += pc.ModelTime
@@ -427,6 +471,7 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 		if !ok {
 			continue
 		}
+		cls.retained = true
 		res.Violations = append(res.Violations, &Violation{
 			Defense:      defName,
 			Contract:     cfg.Contract.Name,

@@ -157,6 +157,11 @@ type Hierarchy struct {
 	tplTLB     []tlbEntry
 	tplTLBTick uint64
 
+	// conflictScan caches every conflict line address in the full prime's
+	// (way, set) scan order, so the incremental prime's per-case L2 pass
+	// walks a flat array instead of recomputing 512 conflict addresses.
+	conflictScan []uint64
+
 	// primeReplay is the reused scratch list of conflict lines whose L2
 	// sets were dirtied and therefore need the install+invalidate replay.
 	primeReplay []uint64
@@ -627,12 +632,17 @@ func (h *Hierarchy) primeFillIncremental() {
 	// dirtied L2 sets (where the install can genuinely evict a sandbox
 	// line) and advance the clock for the skipped no-ops.
 	cfg := h.Cfg.L1D
-	replay := h.primeReplay[:0]
-	for w := 0; w < cfg.Ways; w++ {
-		for s := 0; s < cfg.Sets; s++ {
-			if cl := h.ConflictAddr(s, w); h.L2.dirtyAt(cl) {
-				replay = append(replay, cl)
+	if h.conflictScan == nil {
+		for w := 0; w < cfg.Ways; w++ {
+			for s := 0; s < cfg.Sets; s++ {
+				h.conflictScan = append(h.conflictScan, h.ConflictAddr(s, w))
 			}
+		}
+	}
+	replay := h.primeReplay[:0]
+	for _, cl := range h.conflictScan {
+		if h.L2.dirtyAt(cl) {
+			replay = append(replay, cl)
 		}
 	}
 	for _, cl := range replay {

@@ -77,19 +77,43 @@ func TestCacheEvictVictim(t *testing.T) {
 	}
 }
 
-func TestCacheSnapshotSorted(t *testing.T) {
+func TestCacheSnapshotCanonical(t *testing.T) {
+	// The snapshot is set-major with addresses sorted within each set —
+	// a canonical form: same line multiset, same snapshot, regardless of
+	// install order or way placement.
 	c := testCache()
 	c.Install(0x080) // set 2
 	c.Install(0x000) // set 0
 	c.Install(0x040) // set 1
 	snap := c.Snapshot()
-	for i := 1; i < len(snap); i++ {
-		if snap[i-1] >= snap[i] {
-			t.Errorf("snapshot not sorted: %#x", snap)
+	if len(snap) != 3 || snap[0] != 0x000 || snap[1] != 0x040 || snap[2] != 0x080 {
+		t.Errorf("snapshot not in canonical set-major order: %#x", snap)
+	}
+
+	// Same lines, different install (and thus way/LRU) order: identical
+	// canonical snapshot.
+	sets := c.Config().Sets * c.Config().LineSize
+	d := testCache()
+	for _, a := range []uint64{uint64(2 * sets), 0x040, 0x000} {
+		d.Install(a)
+	}
+	e := testCache()
+	for _, a := range []uint64{0x000, 0x040, uint64(2 * sets)} {
+		e.Install(a)
+	}
+	ds, es := d.Snapshot(), e.Snapshot()
+	if len(ds) != len(es) {
+		t.Fatalf("canonical snapshots differ in size: %#x vs %#x", ds, es)
+	}
+	for i := range ds {
+		if ds[i] != es[i] {
+			t.Errorf("canonical snapshots differ: %#x vs %#x", ds, es)
 		}
 	}
-	if len(snap) != 3 {
-		t.Errorf("snapshot size %d", len(snap))
+	// Within each set the addresses are sorted (set 0 holds both 0x000 and
+	// 2*sets, which collide there).
+	if ds[0] != 0 || ds[1] != uint64(2*sets) || ds[2] != 0x040 {
+		t.Errorf("per-set runs not sorted: %#x", ds)
 	}
 }
 
@@ -161,15 +185,19 @@ func TestCacheInvariantsProperty(t *testing.T) {
 			return false
 		}
 		seen := map[uint64]bool{}
-		for i, la := range snap {
+		lastSet, lastAddr := -1, uint64(0)
+		for _, la := range snap {
 			if seen[la] || la%64 != 0 {
 				return false
 			}
-			// The per-set-merge snapshot must stay strictly sorted — the
-			// property the trace comparison relies on.
-			if i > 0 && snap[i-1] >= la {
+			// The snapshot must stay in canonical form — set-major, and
+			// strictly sorted within each set — the property the trace
+			// comparison relies on (same line multiset, same snapshot).
+			set := c.SetIndex(la)
+			if set < lastSet || (set == lastSet && la <= lastAddr) {
 				return false
 			}
+			lastSet, lastAddr = set, la
 			seen[la] = true
 		}
 		return true

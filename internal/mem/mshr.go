@@ -7,8 +7,17 @@ import "sort"
 // fill completes. When every entry is busy, new misses must wait — the
 // contention channel behind the paper's same-core speculative interference
 // attack on InvisiSpec (UV2), amplified by configuring few entries.
+//
+// Only the live allocations are stored: the paper-sized file has 256
+// entries but rarely more than a handful of fills in flight, and Lookup
+// sits on the data-access hot path, so scanning a dense busy list (expired
+// entries compacted away as they are encountered) beats scanning the full
+// register file by orders of magnitude. Occupancy semantics are unchanged:
+// an entry is free at cycle now exactly when fewer than Size allocations
+// are still busy at now.
 type MSHRFile struct {
-	entries []mshrEntry
+	size int
+	busy []mshrEntry // allocations whose fill may still be in flight
 
 	// used flags any allocation since the last Reset, so the incremental
 	// prime can skip resetting an already-clean file.
@@ -28,16 +37,31 @@ func NewMSHRFile(n int) *MSHRFile {
 	if n < 1 {
 		panic("mem: MSHR count must be at least 1")
 	}
-	return &MSHRFile{entries: make([]mshrEntry, n)}
+	return &MSHRFile{size: n}
 }
 
 // Size returns the number of entries.
-func (m *MSHRFile) Size() int { return len(m.entries) }
+func (m *MSHRFile) Size() int { return m.size }
+
+// compact drops allocations whose fills completed by cycle now, preserving
+// allocation order.
+func (m *MSHRFile) compact(now uint64) {
+	w := 0
+	for i, e := range m.busy {
+		if e.busyUntil > now {
+			if w != i { // avoid rewrites while nothing has expired
+				m.busy[w] = e
+			}
+			w++
+		}
+	}
+	m.busy = m.busy[:w]
+}
 
 // Lookup reports whether a fill for the line holding addr is already in
 // flight at cycle now, and when it completes (miss coalescing).
 func (m *MSHRFile) Lookup(now, lineAddr uint64) (busyUntil uint64, ok bool) {
-	for _, e := range m.entries {
+	for _, e := range m.busy {
 		if e.busyUntil > now && e.addr == lineAddr {
 			return e.busyUntil, true
 		}
@@ -45,12 +69,13 @@ func (m *MSHRFile) Lookup(now, lineAddr uint64) (busyUntil uint64, ok bool) {
 	return 0, false
 }
 
-// FreeCount returns the number of entries free at cycle now.
+// FreeCount returns the number of entries free at cycle now. Reads never
+// compact, so queries about past cycles (debug rendering) stay valid.
 func (m *MSHRFile) FreeCount(now uint64) int {
-	n := 0
-	for _, e := range m.entries {
-		if e.busyUntil <= now {
-			n++
+	n := m.size
+	for _, e := range m.busy {
+		if e.busyUntil > now {
+			n--
 		}
 	}
 	return n
@@ -59,14 +84,18 @@ func (m *MSHRFile) FreeCount(now uint64) int {
 // EarliestFree returns the earliest cycle (>= now) at which at least one
 // entry is free.
 func (m *MSHRFile) EarliestFree(now uint64) uint64 {
+	live := 0
 	best := ^uint64(0)
-	for _, e := range m.entries {
-		if e.busyUntil <= now {
-			return now
+	for _, e := range m.busy {
+		if e.busyUntil > now {
+			live++
+			if e.busyUntil < best {
+				best = e.busyUntil
+			}
 		}
-		if e.busyUntil < best {
-			best = e.busyUntil
-		}
+	}
+	if live < m.size {
+		return now
 	}
 	return best
 }
@@ -78,20 +107,16 @@ func (m *MSHRFile) EarliestFree(now uint64) uint64 {
 // expose.
 func (m *MSHRFile) Alloc(start, until uint64, lineAddr uint64) {
 	m.used = true
-	for i := range m.entries {
-		if m.entries[i].busyUntil <= start {
-			m.entries[i] = mshrEntry{addr: lineAddr, busyUntil: until}
-			return
-		}
+	m.compact(start)
+	if len(m.busy) >= m.size {
+		panic("mem: MSHR Alloc with no free entry")
 	}
-	panic("mem: MSHR Alloc with no free entry")
+	m.busy = append(m.busy, mshrEntry{addr: lineAddr, busyUntil: until})
 }
 
 // Reset frees all entries.
 func (m *MSHRFile) Reset() {
-	for i := range m.entries {
-		m.entries[i] = mshrEntry{}
-	}
+	m.busy = m.busy[:0]
 	m.used = false
 }
 
@@ -100,7 +125,7 @@ func (m *MSHRFile) Reset() {
 // (paper Table 7).
 func (m *MSHRFile) Busy(now uint64) []uint64 {
 	var out []uint64
-	for _, e := range m.entries {
+	for _, e := range m.busy {
 		if e.busyUntil > now {
 			out = append(out, e.addr)
 		}

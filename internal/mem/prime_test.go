@@ -47,8 +47,11 @@ func hierEqual(t *testing.T, a, b *Hierarchy) {
 			t.Fatalf("DTLB entry %d: %+v != %+v", i, a.DTLB.entries[i], b.DTLB.entries[i])
 		}
 	}
-	for i := range a.MSHR.entries {
-		if a.MSHR.entries[i] != b.MSHR.entries[i] {
+	if la, lb := len(a.MSHR.busy), len(b.MSHR.busy); la != lb {
+		t.Fatalf("MSHR busy count %d != %d", la, lb)
+	}
+	for i := range a.MSHR.busy {
+		if a.MSHR.busy[i] != b.MSHR.busy[i] {
 			t.Fatalf("MSHR entry %d differs", i)
 		}
 	}

@@ -3,6 +3,8 @@ package uarch
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
 )
 
 func TestBPredColdPredictsNotTaken(t *testing.T) {
@@ -113,14 +115,15 @@ func TestMDPBypassAndTraining(t *testing.T) {
 
 func TestMDPSaveRestore(t *testing.T) {
 	m := NewMDP()
-	m.TrainViolation(1)
+	pcA, pcB := isa.PCOf(1), isa.PCOf(2)
+	m.TrainViolation(pcA)
 	st := m.Save()
-	m.TrainViolation(2)
+	m.TrainViolation(pcB)
 	m.Restore(st)
-	if m.Bypass(1) {
+	if m.Bypass(pcA) {
 		t.Errorf("restore lost the trained entry")
 	}
-	if !m.Bypass(2) {
+	if !m.Bypass(pcB) {
 		t.Errorf("restore kept a later entry")
 	}
 }

@@ -23,6 +23,30 @@ type Config struct {
 	// MaxCycles aborts runaway simulations; generated programs are DAGs so
 	// the bound only protects against model bugs.
 	MaxCycles uint64
+
+	// NaiveSchedule pins the reference scan-based pipeline scheduling:
+	// writeback and issue walk the full ROB every cycle, the store-queue
+	// search and memory-order check scan the ROB, and UnderShadow re-walks
+	// it per query. The event-driven scheduler (scheduler.go — writeback
+	// wakeup calendar+heap, wakeup-select issue list, dedicated load/store
+	// queues, unresolved-branch queue) is bit-identical — same cycle
+	// counts, same log records, same traces — which
+	// TestSchedulerBitIdentity and TestViolationSetDeterminism pin; like
+	// executor.Config.FullPrime, this knob exists only for regression
+	// pinning and A/B measurement.
+	//
+	// With neither schedule knob set the core chooses by window size: the
+	// event structures win once the ROB is large enough for per-cycle
+	// scans to hurt (>= EventScheduleMinROB), while at the paper's
+	// 64-entry geometry the scans touch so few live entries that the
+	// scheduler bookkeeping costs more than it saves (BenchmarkCoreRun
+	// vs BenchmarkCoreRunLargeWindow document the crossover).
+	NaiveSchedule bool
+
+	// EventSchedule forces the event-driven scheduler regardless of window
+	// size. The equivalence and determinism suites use it to exercise the
+	// event structures at the paper's (below-crossover) geometry.
+	EventSchedule bool
 }
 
 // DefaultConfig returns the default core configuration (paper-like gem5
@@ -55,6 +79,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxCycles < 1000 {
 		return fmt.Errorf("uarch: MaxCycles must be >= 1000, got %d", c.MaxCycles)
+	}
+	if c.NaiveSchedule && c.EventSchedule {
+		return fmt.Errorf("uarch: NaiveSchedule and EventSchedule are mutually exclusive")
 	}
 	return c.Hier.Validate()
 }

@@ -60,6 +60,30 @@ type Core struct {
 	robBuf    []*DynInst
 	squashBuf []*DynInst
 
+	// Event-driven scheduler state (scheduler.go), maintained only when
+	// !cfg.NaiveSchedule: the short-latency writeback calendar ring and the
+	// long-latency wakeup heap with their due-batch scratch, the seq-sorted
+	// ready list with its wake and merge scratch buffers, the in-flight
+	// load/store queues, and the unresolved-branch queue. robOff is the
+	// robBuf index of rob[0], so an instruction's ROB position is
+	// RobIdx - robOff without scanning; naive caches cfg.NaiveSchedule for
+	// the hot-path checks.
+	wbRing   [wbRingSlots][]*DynInst
+	wbHeap   []*DynInst
+	wbDue    []*DynInst
+	ready    []*DynInst
+	readyNew []*DynInst
+	readyBuf []*DynInst
+	loadQ    instQueue
+	storeQ   instQueue
+	brq      instQueue
+	robOff   int
+	naive    bool
+
+	// wbNext is the naive writeback walk's skip watermark: a conservative
+	// lower bound on the earliest completion among executing instructions.
+	wbNext uint64
+
 	// cov, when non-nil, receives speculation-coverage features as the core
 	// simulates (see coverage.go); lastMemClass threads the previous
 	// data-access outcome into transition-edge features.
@@ -80,11 +104,12 @@ func NewCore(cfg Config, def Defense) *Core {
 		def = NopDefense{}
 	}
 	c := &Core{
-		cfg:  cfg,
-		def:  def,
-		Hier: mem.NewHierarchy(cfg.Hier),
-		BP:   NewBPred(cfg.BPred),
-		MD:   NewMDP(),
+		cfg:   cfg,
+		def:   def,
+		Hier:  mem.NewHierarchy(cfg.Hier),
+		BP:    NewBPred(cfg.BPred),
+		MD:    NewMDP(),
+		naive: cfg.NaiveSchedule || (!cfg.EventSchedule && cfg.ROBSize < EventScheduleMinROB),
 	}
 	def.Attach(c)
 	return c
@@ -173,6 +198,11 @@ func (c *Core) ResetForInput(in *isa.Input) {
 		c.robBuf = make([]*DynInst, 2*c.cfg.ROBSize)
 	}
 	c.rob = c.robBuf[:0]
+	c.robOff = 0
+	c.wbNext = 0
+	if !c.naive {
+		c.schedInit()
+	}
 	c.dyn.reset()
 	for i := range c.renameReg {
 		c.renameReg[i] = nil
@@ -290,21 +320,58 @@ func (c *Core) Run() error {
 
 // --- writeback & branch resolution ---
 
+// startExec moves in to the executing state, completing at doneAt, and
+// registers it with the writeback wakeup heap under the event-driven
+// scheduler.
+func (c *Core) startExec(in *DynInst, doneAt uint64) {
+	in.State = StExecuting
+	in.DoneAt = doneAt
+	if !c.naive {
+		c.schedExec(in, doneAt)
+	} else if doneAt < c.wbNext {
+		c.wbNext = doneAt
+	}
+}
+
 func (c *Core) writeback() {
+	if !c.naive {
+		c.writebackEvent()
+		return
+	}
+	// wbNext is a conservative lower bound on the earliest DoneAt of any
+	// executing instruction (startExec lowers it, the walk re-derives it),
+	// so the cycles spent waiting on one long-latency fill skip the ROB
+	// walk entirely. A stale-low bound after a squash merely costs an
+	// extra no-op walk; the walk itself is side-effect-free for non-due
+	// entries, so the skip cannot change behaviour.
+	if c.cycle < c.wbNext {
+		return
+	}
+	next := ^uint64(0)
 	for i := 0; i < len(c.rob); i++ {
 		in := c.rob[i]
-		if in.State != StExecuting || in.DoneAt > c.cycle {
+		if in.State != StExecuting {
+			continue
+		}
+		if in.DoneAt > c.cycle {
+			if in.DoneAt < next {
+				next = in.DoneAt
+			}
 			continue
 		}
 		in.State = StDone
 		if in.IsBranch() {
 			if c.resolveBranch(in) {
-				return // squash truncated the ROB; younger entries are gone
+				// Squash truncated the ROB; younger entries are gone, and
+				// the walk did not finish deriving the bound.
+				c.wbNext = 0
+				return
 			}
 			continue
 		}
 		c.def.OnResult(in)
 	}
+	c.wbNext = next
 }
 
 // resolveBranch resolves a conditional branch and reports whether it
@@ -343,6 +410,9 @@ func (c *Core) squashYoungerThan(seq uint64, redirectIdx int) {
 	squashed := append(c.squashBuf[:0], c.rob[cut:]...)
 	c.squashBuf = squashed
 	c.rob = c.rob[:cut]
+	if !c.naive {
+		c.schedSquash(seq)
+	}
 	// Youngest first, matching squash walk order in hardware.
 	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
 		squashed[i], squashed[j] = squashed[j], squashed[i]
@@ -422,6 +492,10 @@ func (c *Core) commit() {
 			c.fence = nil
 		}
 		c.rob = c.rob[1:]
+		c.robOff++
+		if !c.naive {
+			c.schedCommit(in)
+		}
 		c.stats.Committed++
 	}
 }
@@ -472,7 +546,20 @@ func (c *Core) accessLines(in *DynInst, opts mem.DataAccessOpts) (res1, res2 mem
 
 // UnderShadow reports whether an older unresolved conditional branch exists
 // for in: the speculation shadow that defenses key their protection on.
+// Under the event-driven scheduler this is one compare against the oldest
+// unresolved branch; the naive schedule keeps the reference ROB walk.
 func (c *Core) UnderShadow(in *DynInst) bool {
+	if !c.naive {
+		q := c.brq.q
+		if len(q) == 0 {
+			return false
+		}
+		if f := q[0]; f.State == StDispatched || f.State == StExecuting {
+			return f.Seq < in.Seq // front already unresolved: the hot path
+		}
+		br := c.oldestUnresolvedBranch()
+		return br != nil && br.Seq < in.Seq
+	}
 	for _, older := range c.rob {
 		if older.Seq >= in.Seq {
 			return false
@@ -485,49 +572,60 @@ func (c *Core) UnderShadow(in *DynInst) bool {
 }
 
 func (c *Core) issue() {
+	if !c.naive {
+		c.issueEvent()
+		return
+	}
 	issued := 0
 	for i := 0; i < len(c.rob) && issued < c.cfg.IssueWidth; i++ {
 		in := c.rob[i]
 		if in.State != StDispatched {
 			continue
 		}
-		switch {
-		case in.In.Op == isa.OpNop:
-			in.State = StExecuting
-			in.DoneAt = c.cycle + 1
-			issued++
-		case in.In.Op == isa.OpFence:
-			// Serializing: executes only at the head of the ROB.
-			if i == 0 {
-				in.State = StExecuting
-				in.DoneAt = c.cycle + 1
-				issued++
-			}
-		case in.In.Op == isa.OpJmp:
-			in.State = StExecuting
-			in.DoneAt = c.cycle + 1
-			issued++
-		case in.IsBranch():
-			if in.DepsDone() {
-				in.State = StExecuting
-				in.DoneAt = c.cycle + uint64(c.cfg.LatBranch)
-				issued++
-			}
-		case in.In.Op.IsALU():
-			if in.DepsDone() {
-				c.executeALU(in)
-				issued++
-			}
-		case in.IsLoad():
-			if c.tryIssueLoad(in) {
-				issued++
-			}
-		case in.IsStore():
-			if c.tryIssueStore(in, &issued) {
-				return // memory-order squash rewrote the ROB
-			}
+		if c.attemptIssue(in, i == 0, &issued) {
+			return // memory-order squash rewrote the ROB
 		}
 	}
+}
+
+// attemptIssue tries to advance one dispatched instruction through its next
+// issue step, incrementing *issued per consumed slot. head reports whether
+// the instruction is at the ROB head (fences serialize there). It reports
+// whether a memory-order squash rewrote the pipeline. Both schedules share
+// it, so the per-instruction issue semantics — and every defense/coverage
+// side effect of an attempt — are identical by construction.
+func (c *Core) attemptIssue(in *DynInst, head bool, issued *int) (squashed bool) {
+	switch {
+	case in.In.Op == isa.OpNop:
+		c.startExec(in, c.cycle+1)
+		*issued++
+	case in.In.Op == isa.OpFence:
+		// Serializing: executes only at the head of the ROB.
+		if head {
+			c.startExec(in, c.cycle+1)
+			*issued++
+		}
+	case in.In.Op == isa.OpJmp:
+		c.startExec(in, c.cycle+1)
+		*issued++
+	case in.IsBranch():
+		if in.DepsDone() {
+			c.startExec(in, c.cycle+uint64(c.cfg.LatBranch))
+			*issued++
+		}
+	case in.In.Op.IsALU():
+		if in.DepsDone() {
+			c.executeALU(in)
+			*issued++
+		}
+	case in.IsLoad():
+		if c.tryIssueLoad(in) {
+			*issued++
+		}
+	case in.IsStore():
+		return c.tryIssueStore(in, issued)
+	}
+	return false
 }
 
 func (c *Core) executeALU(in *DynInst) {
@@ -544,8 +642,7 @@ func (c *Core) executeALU(in *DynInst) {
 	if in.In.Op == isa.OpMul {
 		lat = c.cfg.LatMul
 	}
-	in.State = StExecuting
-	in.DoneAt = c.cycle + uint64(lat)
+	c.startExec(in, c.cycle+uint64(lat))
 }
 
 // tryIssueLoad attempts to issue a load; it returns whether an issue slot
@@ -628,8 +725,7 @@ func (c *Core) tryIssueLoad(ld *DynInst) bool {
 		ld.Forwarded = true
 		ld.LoadVal = fwdVal
 		ld.Result = fwdVal
-		ld.State = StExecuting
-		ld.DoneAt = c.cycle + uint64(1+tlbLat)
+		c.startExec(ld, c.cycle+uint64(1+tlbLat))
 		c.def.OnLoadExecuted(ld, mem.DataAccessResult{L1Hit: true, Latency: 1}, mem.DataAccessResult{})
 		return true
 	}
@@ -648,54 +744,68 @@ func (c *Core) tryIssueLoad(ld *DynInst) bool {
 	}
 	ld.LoadVal = c.img.Read(ld.EffAddr, ld.In.Size)
 	ld.Result = ld.LoadVal
-	ld.State = StExecuting
-	ld.DoneAt = c.cycle + uint64(tlbLat+lat)
+	c.startExec(ld, c.cycle+uint64(tlbLat+lat))
 	c.def.OnLoadExecuted(ld, res1, res2)
 	return true
 }
 
-// searchStoreQueue scans older in-flight stores for the load. It returns a
-// forwarded value when the youngest older overlapping store fully covers
-// the load, blocks the load when a partial overlap or a must-wait
-// dependence prediction demands it, and otherwise lets the load bypass
-// (recording that it did, for memory-order violation checks).
+// searchStoreQueue scans older in-flight stores for the load, youngest
+// first. It returns a forwarded value when the youngest older overlapping
+// store fully covers the load, blocks the load when a partial overlap or a
+// must-wait dependence prediction demands it, and otherwise lets the load
+// bypass (recording that it did, for memory-order violation checks).
+//
+// Under the event-driven scheduler the walk covers exactly the older
+// entries of the dedicated store queue (binary search by the load's Seq);
+// the naive schedule walks the ROB downward from the load's own position,
+// which RobIdx now yields directly instead of the old linear self-scan.
 func (c *Core) searchStoreQueue(ld *DynInst) (fwd bool, val uint64, blocked bool) {
 	ldBytes := spanOf(c.sb, ld.EffAddr, ld.In.Size)
-	pos := -1
-	for i, in := range c.rob {
-		if in == ld {
-			pos = i
-			break
+	if !c.naive {
+		sq := c.storeQ.q
+		for i := c.storeQ.olderThan(ld.Seq) - 1; i >= 0; i-- {
+			if fwd, val, blocked, decided := c.searchStoreStep(ld, sq[i], &ldBytes); decided {
+				return fwd, val, blocked
+			}
 		}
+		return false, 0, false
 	}
-	for i := pos - 1; i >= 0; i-- {
+	for i := ld.RobIdx - c.robOff - 1; i >= 0; i-- {
 		st := c.rob[i]
 		if !st.IsStore() || st.State == StCommitted {
 			continue
 		}
-		if !st.AddrValid {
-			if !c.MD.Bypass(ld.PC) {
-				return false, 0, true
-			}
-			ld.Bypassed = true
-			continue
+		if fwd, val, blocked, decided := c.searchStoreStep(ld, st, &ldBytes); decided {
+			return fwd, val, blocked
 		}
-		stBytes := spanOf(c.sb, st.EffAddr, st.In.Size)
-		if !stBytes.overlaps(&ldBytes) {
-			continue
-		}
-		dataReady := true
-		if p := st.Deps[1]; p != nil && p.State != StDone && p.State != StCommitted {
-			dataReady = false
-		}
-		if !dataReady || !stBytes.covers(&ldBytes) {
-			// Partial overlap or data not ready: wait for the store.
-			return false, 0, true
-		}
-		ld.FwdFromSeq = st.Seq
-		return true, extractForward(&stBytes, &ldBytes, st.SrcVal(1)), false
 	}
 	return false, 0, false
+}
+
+// searchStoreStep applies the forwarding/blocking rules of one older store
+// to the load; decided reports that the walk can stop.
+func (c *Core) searchStoreStep(ld, st *DynInst, ldBytes *byteSpan) (fwd bool, val uint64, blocked, decided bool) {
+	if !st.AddrValid {
+		if !c.MD.Bypass(ld.PC) {
+			return false, 0, true, true
+		}
+		ld.Bypassed = true
+		return false, 0, false, false
+	}
+	stBytes := spanOf(c.sb, st.EffAddr, st.In.Size)
+	if !stBytes.overlaps(ldBytes) {
+		return false, 0, false, false
+	}
+	dataReady := true
+	if p := st.Deps[1]; p != nil && p.State != StDone && p.State != StCommitted {
+		dataReady = false
+	}
+	if !dataReady || !stBytes.covers(ldBytes) {
+		// Partial overlap or data not ready: wait for the store.
+		return false, 0, true, true
+	}
+	ld.FwdFromSeq = st.Seq
+	return true, extractForward(&stBytes, ldBytes, st.SrcVal(1)), false, true
 }
 
 // extractForward assembles the load value from the store's data bytes.
@@ -748,8 +858,18 @@ func (c *Core) tryIssueStore(st *DynInst, issued *int) (squashed bool) {
 		*issued++
 
 		if act.TLBAccess {
-			tlbLat, tlbHit := c.Hier.TranslateData(c.cycle, st.EffAddr, act.TLBInstall)
-			_ = tlbLat
+			// The store translates at execute for the µarch side effects
+			// only — TLB state is the KV3 leak surface — so the returned
+			// latency is deliberately unused. It is architecturally
+			// invisible in this model: a store produces no register value
+			// (dependent loads wait on the *data* producer via forwarding,
+			// never on translation), and its occupancy ends at commit,
+			// which drains at CommitWidth regardless of how long the
+			// address phase took. gem5's O3 hides the same latency in the
+			// store queue. TestStoreTLBLatencyInvisible pins this: a
+			// cold-TLB and a warm-TLB store retire on the same cycle while
+			// the TLB-miss counters differ.
+			_, tlbHit := c.Hier.TranslateData(c.cycle, st.EffAddr, act.TLBInstall)
 			if !tlbHit {
 				c.stats.TLBMisses++
 				if act.TLBInstall {
@@ -785,35 +905,54 @@ func (c *Core) tryIssueStore(st *DynInst, issued *int) (squashed bool) {
 		return false
 	}
 	st.Result = st.SrcVal(1)
-	st.State = StExecuting
-	st.DoneAt = c.cycle + 1
+	c.startExec(st, c.cycle+1)
 	return false
+}
+
+// movVictim reports whether the younger load in violated memory ordering
+// against store st: it executed, did not take its value from a store
+// younger than st, and its resolved address overlaps st's bytes. One
+// predicate shared by both scheduler paths, so the filters cannot drift.
+func (c *Core) movVictim(st, in *DynInst, stBytes *byteSpan) bool {
+	if in.State != StExecuting && in.State != StDone {
+		return false
+	}
+	if in.Forwarded && in.FwdFromSeq > st.Seq {
+		return false // value came from a store younger than st: still correct
+	}
+	if !in.AddrValid {
+		return false
+	}
+	ldBytes := spanOf(c.sb, in.EffAddr, in.In.Size)
+	return stBytes.overlaps(&ldBytes)
 }
 
 // checkMemOrderViolation looks for younger loads that already executed and
 // overlap the store whose address just resolved. Such loads consumed stale
 // data (the Spectre-v4 window); the pipeline squashes from the oldest
-// violating load and trains the dependence predictor.
+// violating load and trains the dependence predictor. The event-driven
+// scheduler scans only the executed younger loads of the dedicated load
+// queue; the naive schedule keeps the reference full-ROB walk.
 func (c *Core) checkMemOrderViolation(st *DynInst) bool {
 	stBytes := spanOf(c.sb, st.EffAddr, st.In.Size)
 	var victim *DynInst
-	for _, in := range c.rob {
-		if in.Seq <= st.Seq || !in.IsLoad() {
-			continue
+	if !c.naive {
+		lq := c.loadQ.q
+		for i := c.loadQ.olderThan(st.Seq); i < len(lq); i++ {
+			if in := lq[i]; c.movVictim(st, in, &stBytes) {
+				victim = in
+				break // the queue is in program order: first match is the oldest
+			}
 		}
-		if in.State != StExecuting && in.State != StDone {
-			continue
-		}
-		if in.Forwarded && in.FwdFromSeq > st.Seq {
-			continue // value came from a store younger than st: still correct
-		}
-		if !in.AddrValid {
-			continue
-		}
-		ldBytes := spanOf(c.sb, in.EffAddr, in.In.Size)
-		if stBytes.overlaps(&ldBytes) {
-			victim = in
-			break // ROB is in program order: first match is the oldest
+	} else {
+		for _, in := range c.rob {
+			if in.Seq <= st.Seq || !in.IsLoad() {
+				continue
+			}
+			if c.movVictim(st, in, &stBytes) {
+				victim = in
+				break // ROB is in program order: first match is the oldest
+			}
 		}
 	}
 	if victim == nil {
@@ -883,7 +1022,10 @@ func (c *Core) fetchPhantom() {
 // commit pops the front (c.rob = c.rob[1:]); when it reaches the end of the
 // backing array the live entries are compacted back to the front, which —
 // with the buffer sized at twice ROBSize — costs amortized O(1) pointer
-// moves per dispatch and never reallocates.
+// moves per dispatch and never reallocates. Each entry's RobIdx tracks its
+// robBuf index (position in c.rob is RobIdx - robOff), kept current here
+// through compaction; commit advances robOff and squash truncation leaves
+// indices untouched, so no consumer ever scans for a position.
 func (c *Core) robPush(d *DynInst) {
 	if len(c.rob) == cap(c.rob) {
 		if c.robBuf == nil || len(c.robBuf) < 2*c.cfg.ROBSize {
@@ -891,7 +1033,12 @@ func (c *Core) robPush(d *DynInst) {
 		}
 		n := copy(c.robBuf, c.rob)
 		c.rob = c.robBuf[:n]
+		c.robOff = 0
+		for i, in := range c.rob {
+			in.RobIdx = i
+		}
 	}
+	d.RobIdx = c.robOff + len(c.rob)
 	c.rob = append(c.rob, d)
 }
 
@@ -966,6 +1113,9 @@ func (c *Core) dispatch(idx int) {
 		c.renameFlags = d
 	}
 	c.robPush(d)
+	if !c.naive {
+		c.schedDispatch(d)
+	}
 	c.stats.Fetched++
 	c.fetchIdx = next
 }

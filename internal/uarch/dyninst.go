@@ -33,6 +33,12 @@ type DynInst struct {
 	In  isa.Inst // decoded instruction
 	PC  uint64
 
+	// RobIdx is the instruction's index in the ROB backing buffer; its
+	// position in Core.ROB() is RobIdx - robOff. robPush keeps it current
+	// through window compaction, so head checks and store-queue walks never
+	// scan for a position.
+	RobIdx int
+
 	State  InstState
 	DoneAt uint64 // completion cycle while Executing
 
@@ -69,6 +75,11 @@ type DynInst struct {
 	// Speculation state.
 	SpecAtIssue bool // issued under an unresolved older branch (its shadow)
 	Tainted     bool // STT: result derived from speculatively accessed data
+
+	// waiters holds the younger instructions parked on this one's result by
+	// the event-driven scheduler (wakeup-select issue, scheduler.go); woken
+	// and cleared when this instruction writes back.
+	waiters []*DynInst
 }
 
 // IsLoad reports whether the instruction is a load.
@@ -194,7 +205,8 @@ type dynArena struct {
 
 const dynArenaChunk = 256
 
-// alloc returns a zeroed DynInst, keeping the recycled FillIDs capacity.
+// alloc returns a zeroed DynInst, keeping the recycled FillIDs and waiters
+// capacity.
 func (a *dynArena) alloc() *DynInst {
 	if a.chunk == len(a.chunks) {
 		a.chunks = append(a.chunks, make([]DynInst, dynArenaChunk))
@@ -206,7 +218,8 @@ func (a *dynArena) alloc() *DynInst {
 		a.next = 0
 	}
 	fillIDs := d.FillIDs[:0]
-	*d = DynInst{FillIDs: fillIDs}
+	waiters := d.waiters[:0]
+	*d = DynInst{FillIDs: fillIDs, waiters: waiters}
 	return d
 }
 

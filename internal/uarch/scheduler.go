@@ -1,0 +1,550 @@
+package uarch
+
+// Event-driven pipeline scheduling.
+//
+// The reference pipeline (Config.NaiveSchedule) walks the full ROB every
+// cycle in writeback() and issue(), scans it per load for the store queue,
+// per resolved store for memory-order violations, and per speculation check
+// for the branch shadow. Profiles after the priming rewrite (PR 4) put
+// those walks at the top of campaign CPU: with a 64-entry ROB the common
+// cycle touches dozens of entries to find the two or three that can act.
+//
+// This file replaces the walks with event-driven structures, all owned by
+// the Core, pre-allocated once and rewound per input so the hot loop stays
+// allocation-free:
+//
+//   - wbHeap: executing instructions sit in a (DoneAt, Seq) min-heap —
+//     the same shape as mem.Hierarchy's fill queue. writeback() pops only
+//     the due entries and applies them in Seq order, so a cycle in which
+//     nothing completes costs one comparison.
+//   - ready / waiters: issue() walks only the dispatched instructions
+//     (never the executing/done bulk of the ROB), and instructions blocked
+//     on a long-latency register/flags producer leave even that list: they
+//     park on the producer's wake list and re-enter the seq-sorted ready
+//     list when it writes back (wakeup-select). Short dependency waits
+//     poll in place — one DepsDone check per cycle costs less than a
+//     park/wake round trip (parkThreshold). Instructions whose stall is
+//     not a register dependency — fences waiting for the ROB head, loads
+//     blocked by the store queue, defense-delayed accesses — always stay
+//     ready and are re-attempted every cycle, exactly as the reference
+//     walk attempts them, because those attempts have observable side
+//     effects (defense hooks, coverage features, Bypassed marking) that
+//     bit-identity must preserve.
+//   - loadQ / storeQ: seq-ordered queues of in-flight memory operations,
+//     maintained at dispatch, commit and squash. searchStoreQueue walks
+//     only the stores older than the load (found by binary search instead
+//     of the old scan for the load's own ROB position), and
+//     checkMemOrderViolation walks only the loads younger than the store.
+//   - brq: the unresolved-branch queue. UnderShadow becomes a single
+//     compare against the oldest unresolved branch, and the coverage-mode
+//     ShadowDepth walk touches only branches instead of the whole ROB.
+//
+// Equivalence with the naive schedule is structural, not incidental: the
+// ready list enumerates exactly the dispatched instructions whose
+// issue-step preconditions the naive walk would find met, in the same seq
+// order, under the same IssueWidth budget; skipped instructions are
+// precisely those whose naive attempt is a side-effect-free early return.
+// TestSchedulerBitIdentity pins cycle counts, stats, debug-log records,
+// traces and coverage digests against the naive path for every defense,
+// and TestViolationSetDeterminism pins whole-campaign fingerprints across
+// {event-driven, naive} x workers {1, 4}.
+
+// EventScheduleMinROB is the window size at which the auto schedule picks
+// the event-driven structures over the reference scans. Measured on the
+// 1-vCPU reference box: at the paper's 64-entry ROB with 36-56-instruction
+// programs the live window is so small that per-cycle scans touch only a
+// handful of entries and the scheduler bookkeeping is a net loss
+// (BenchmarkCoreRun), while at a 256-entry window with ~200-instruction
+// programs and primed (all-miss) caches the event scheduler is ~9% faster
+// end to end (BenchmarkCoreRunLargeWindow) and the gap grows with window
+// size. Config.NaiveSchedule / Config.EventSchedule override the choice.
+const EventScheduleMinROB = 128
+
+// instQueue is a seq-ordered window of in-flight instructions backed by a
+// fixed buffer of twice the ROB size. The window slides as commit pops the
+// front; push compacts the live entries back to the start when the window
+// reaches the end of the buffer (amortized O(1), never reallocates), and
+// squash truncates the young end in place.
+type instQueue struct {
+	buf []*DynInst
+	q   []*DynInst
+}
+
+// init sizes the backing buffer for a core with ROB size n.
+func (iq *instQueue) init(n int) {
+	if iq.buf == nil || len(iq.buf) < 2*n {
+		iq.buf = make([]*DynInst, 2*n)
+	}
+	iq.q = iq.buf[:0]
+}
+
+// reset empties the window, keeping the buffer.
+func (iq *instQueue) reset() { iq.q = iq.buf[:0] }
+
+// push appends d (the youngest instruction) to the window.
+func (iq *instQueue) push(d *DynInst) {
+	if len(iq.q) == cap(iq.q) {
+		n := copy(iq.buf, iq.q)
+		iq.q = iq.buf[:n]
+	}
+	iq.q = append(iq.q, d)
+}
+
+// popFront removes the oldest entry (its instruction committed).
+func (iq *instQueue) popFront() { iq.q = iq.q[1:] }
+
+// truncSeq drops every entry younger than seq (a squash).
+func (iq *instQueue) truncSeq(seq uint64) {
+	q := iq.q
+	for len(q) > 0 && q[len(q)-1].Seq > seq {
+		q = q[:len(q)-1]
+	}
+	iq.q = q
+}
+
+// olderThan returns the number of entries with Seq < seq. The window is
+// seq-sorted and the queries come from the window's young end (a load
+// searching older stores, a store searching younger loads), so a backward
+// linear skip beats a binary search on the short queues ROB-sized cores
+// have in flight.
+func (iq *instQueue) olderThan(seq uint64) int {
+	i := len(iq.q)
+	for i > 0 && iq.q[i-1].Seq > seq {
+		i--
+	}
+	return i
+}
+
+// schedInit (re)builds the scheduler buffers for a new input. Buffers are
+// lazily sized on first use and reused afterwards, preserving the PR 3
+// zero-alloc steady state.
+func (c *Core) schedInit() {
+	n := c.cfg.ROBSize
+	if c.ready == nil || cap(c.ready) < n {
+		c.ready = make([]*DynInst, 0, n)
+		c.readyNew = make([]*DynInst, 0, n)
+		c.readyBuf = make([]*DynInst, 0, n)
+		c.wbHeap = make([]*DynInst, 0, n)
+		c.wbDue = make([]*DynInst, 0, n)
+	}
+	c.ready = c.ready[:0]
+	c.readyNew = c.readyNew[:0]
+	c.wbHeap = c.wbHeap[:0]
+	for i := range c.wbRing {
+		c.wbRing[i] = c.wbRing[i][:0]
+	}
+	c.loadQ.init(n)
+	c.storeQ.init(n)
+	c.brq.init(n)
+}
+
+// --- writeback wakeup heap ------------------------------------------------
+
+// wbRingSlots is the span of the short-latency writeback calendar: an
+// instruction completing within wbRingSlots cycles is appended to the ring
+// slot of its DoneAt instead of entering the heap. Single-cycle ALU ops,
+// store data phases, branches and L1-hit loads — the overwhelming majority
+// of completions — take this O(1) path; only long-latency fills (L2/memory
+// misses, TLB walks) pay the heap's log. The slot for cycle+wbRingSlots
+// aliases the slot for the current cycle, which writeback drained before
+// issue runs, so the span never collides.
+const wbRingSlots = 8
+
+// schedExec registers an executing instruction for writeback at doneAt.
+func (c *Core) schedExec(d *DynInst, doneAt uint64) {
+	if doneAt-c.cycle <= wbRingSlots {
+		s := doneAt & (wbRingSlots - 1)
+		c.wbRing[s] = append(c.wbRing[s], d)
+		return
+	}
+	c.wbPush(d)
+}
+
+// wbLess orders the wakeup heap by (DoneAt, Seq).
+func wbLess(a, b *DynInst) bool {
+	return a.DoneAt < b.DoneAt || (a.DoneAt == b.DoneAt && a.Seq < b.Seq)
+}
+
+// wbPush registers an executing instruction for writeback at its DoneAt.
+func (c *Core) wbPush(d *DynInst) {
+	h := append(c.wbHeap, d)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wbLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	c.wbHeap = h
+}
+
+// wbPop removes and returns the earliest-completing instruction.
+func (c *Core) wbPop() *DynInst {
+	h := c.wbHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && wbLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && wbLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	c.wbHeap = h
+	return top
+}
+
+// writebackEvent pops the instructions whose DoneAt has arrived — the
+// current cycle's calendar slot plus any due heap entries — and retires
+// their execution in Seq order, the event-driven equivalent of the naive
+// oldest-first ROB walk. A cycle in which nothing completes costs two
+// comparisons. Squashed leftovers are discarded lazily when they come due.
+func (c *Core) writebackEvent() {
+	slot := c.cycle & (wbRingSlots - 1)
+	ring := c.wbRing[slot]
+	if len(ring) == 0 && (len(c.wbHeap) == 0 || c.wbHeap[0].DoneAt > c.cycle) {
+		return
+	}
+	due := c.wbDue[:0]
+	for _, in := range ring {
+		if in.State == StExecuting {
+			due = append(due, in)
+		}
+	}
+	c.wbRing[slot] = ring[:0]
+	for len(c.wbHeap) > 0 && c.wbHeap[0].DoneAt <= c.cycle {
+		in := c.wbPop()
+		if in.State != StExecuting {
+			continue // squashed after it entered the heap
+		}
+		due = append(due, in)
+	}
+	c.wbDue = due
+	// The heap pops in (DoneAt, Seq) order; the naive walk processes due
+	// entries in Seq order regardless of when they became due. The batch is
+	// tiny (bounded by IssueWidth per completing cycle), so an insertion
+	// sort beats anything with allocation or interface costs.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j-1].Seq > due[j].Seq; j-- {
+			due[j-1], due[j] = due[j], due[j-1]
+		}
+	}
+	for _, in := range due {
+		if in.State != StExecuting {
+			continue // squashed by an older branch earlier in this batch
+		}
+		in.State = StDone
+		c.schedWake(in)
+		if in.IsBranch() {
+			if c.resolveBranch(in) {
+				// The squash removed every younger instruction; the rest of
+				// the batch is younger, hence squashed — exactly the entries
+				// the naive walk abandons by returning here.
+				return
+			}
+			continue
+		}
+		c.def.OnResult(in)
+	}
+}
+
+// --- wakeup-select issue --------------------------------------------------
+
+// issueBlocker returns the producer whose completion the next issue step of
+// d is waiting for, or nil when d's issue-step preconditions that depend on
+// registers/flags are met. It mirrors the side-effect-free early returns of
+// the naive issue walk: a store waits on its address producer before the
+// address phase and on its data producer after; everything else waits on
+// DepsDone. Stalls that are not register dependencies (fence not at head,
+// store-queue blocks, defense delays) are never reported here — those
+// instructions must be re-attempted every cycle.
+func (c *Core) issueBlocker(d *DynInst) *DynInst {
+	if d.IsStore() {
+		if !d.AddrValid {
+			if p := d.Deps[0]; p != nil && p.State != StDone && p.State != StCommitted {
+				return p
+			}
+			return nil
+		}
+		if p := d.Deps[1]; p != nil && p.State != StDone && p.State != StCommitted {
+			return p
+		}
+		return nil
+	}
+	for _, p := range d.Deps {
+		if p != nil && p.State != StDone && p.State != StCommitted {
+			return p
+		}
+	}
+	if p := d.FlagsDep; p != nil && p.State != StDone && p.State != StCommitted {
+		return p
+	}
+	return nil
+}
+
+// parkThreshold is the minimum remaining producer latency, in cycles, that
+// makes parking pay. Parking an instruction and waking it later costs a
+// handful of list operations; re-attempting it from the ready list costs
+// one DepsDone check per cycle. Short waits — the single-cycle ALU chains
+// that dominate generated programs — poll; only consumers of long-latency
+// producers (cache-missing loads, multiplies, TLB walks) park, which is
+// where the naive walk burned its cycles.
+const parkThreshold = 2
+
+// parkWorthy reports whether blocking producer p is worth parking on: it is
+// executing with enough latency left that polling would lose. Producers
+// still dispatched have unknown completion; their consumers poll until the
+// producer issues, then park on the next re-evaluation if the latency
+// warrants it.
+func (c *Core) parkWorthy(p *DynInst) bool {
+	return p.State == StExecuting && p.DoneAt > c.cycle+parkThreshold
+}
+
+// schedDispatch registers a newly dispatched instruction with the
+// scheduler: memory ops and branches enter their queues, and the
+// instruction joins the ready list (dispatch order is seq order). The
+// issue walk routes it to a producer's wake list when its blocker turns
+// out to be long-latency.
+func (c *Core) schedDispatch(d *DynInst) {
+	switch {
+	case d.IsLoad():
+		c.loadQ.push(d)
+	case d.IsStore():
+		c.storeQ.push(d)
+	case d.IsBranch():
+		c.brq.push(d)
+	}
+	c.ready = append(c.ready, d)
+}
+
+// schedWake re-evaluates the instructions parked on p once p's result is
+// available: each either re-parks on its next long-latency pending
+// producer or joins the wake batch merged into the ready list before the
+// next issue phase.
+func (c *Core) schedWake(p *DynInst) {
+	if len(p.waiters) == 0 {
+		return
+	}
+	for _, w := range p.waiters {
+		if w.State != StDispatched {
+			continue // squashed while parked
+		}
+		if nb := c.issueBlocker(w); nb != nil && c.parkWorthy(nb) {
+			nb.waiters = append(nb.waiters, w)
+		} else {
+			c.readyNew = append(c.readyNew, w)
+		}
+	}
+	p.waiters = p.waiters[:0]
+}
+
+// mergeReady folds the instructions woken since the last issue phase into
+// the seq-sorted ready list. Entries squashed between wakeup and merge are
+// dropped here.
+func (c *Core) mergeReady() {
+	rn := c.readyNew
+	if len(rn) == 0 {
+		return
+	}
+	for i := 1; i < len(rn); i++ {
+		for j := i; j > 0 && rn[j-1].Seq > rn[j].Seq; j-- {
+			rn[j-1], rn[j] = rn[j], rn[j-1]
+		}
+	}
+	if len(c.ready) == 0 {
+		// Common case: nothing was blocked in place, the wakes are the
+		// whole ready set.
+		for _, w := range rn {
+			if w.State == StDispatched {
+				c.ready = append(c.ready, w)
+			}
+		}
+		c.readyNew = rn[:0]
+		return
+	}
+	dst := c.readyBuf[:0]
+	i, j := 0, 0
+	for i < len(c.ready) || j < len(rn) {
+		var pick *DynInst
+		switch {
+		case i == len(c.ready):
+			pick, j = rn[j], j+1
+		case j == len(rn):
+			pick, i = c.ready[i], i+1
+		case c.ready[i].Seq < rn[j].Seq:
+			pick, i = c.ready[i], i+1
+		default:
+			pick, j = rn[j], j+1
+		}
+		if pick.State == StDispatched {
+			dst = append(dst, pick)
+		}
+	}
+	c.ready, c.readyBuf = dst, c.ready[:0]
+	c.readyNew = rn[:0]
+}
+
+// issueEvent is the wakeup-select issue phase: it attempts only the ready
+// candidates, oldest first, under the same IssueWidth budget and with the
+// same per-instruction attempt semantics as the naive ROB walk — the
+// attempted set is identical because every instruction the walk would skip
+// without side effects is parked, and everything else is here.
+//
+// The list compacts in place, and writes begin only at the first removal:
+// a fully stalled cycle — every candidate blocked — reads the list without
+// storing a single pointer, which matters because each pointer store pays
+// a GC write barrier the naive byte-state walk never paid.
+func (c *Core) issueEvent() {
+	c.mergeReady()
+	issued := 0
+	ready := c.ready
+	w := 0 // write cursor: trails i only once an entry has been removed
+	for i := 0; i < len(ready); i++ {
+		in := ready[i]
+		if in.State != StDispatched {
+			continue
+		}
+		if issued >= c.cfg.IssueWidth {
+			if w != i {
+				ready[w] = in
+			}
+			w++
+			continue
+		}
+		if c.attemptIssue(in, in.RobIdx == c.robOff, &issued) {
+			// Memory-order squash: schedSquash already truncated c.ready to
+			// the surviving seq range (the walked prefix is older than the
+			// victim, so it is intact). Stitch the kept prefix, the store
+			// itself, and the not-yet-walked survivors back together, then
+			// stop issuing — the naive walk returns here too.
+			ready = c.ready // re-read: the squash truncated it
+			if in.State == StDispatched {
+				if nb := c.issueBlocker(in); nb != nil && c.parkWorthy(nb) {
+					nb.waiters = append(nb.waiters, in)
+				} else {
+					if w != i {
+						ready[w] = in
+					}
+					w++
+				}
+			}
+			if w != i+1 {
+				w += copy(ready[w:], ready[i+1:])
+			} else {
+				w = len(ready)
+			}
+			c.ready = ready[:w]
+			return
+		}
+		if in.State != StDispatched {
+			continue // issued this cycle; it lives in the wakeup calendar now
+		}
+		// Still dispatched. If a register/flags producer blocks it and that
+		// producer is long-latency, park on its wake list; otherwise stay
+		// ready and poll — store-queue blocks, defense delays and fences
+		// have no producer event to wait for, and short dependency waits
+		// poll cheaper than they park.
+		if nb := c.issueBlocker(in); nb != nil && c.parkWorthy(nb) {
+			nb.waiters = append(nb.waiters, in)
+			continue
+		}
+		if w != i {
+			ready[w] = in
+		}
+		w++
+	}
+	c.ready = ready[:w]
+}
+
+// schedSquash removes every instruction younger than seq from the
+// scheduler structures. Wakeup-heap and wake-list entries are dropped
+// lazily (their State check fails); the seq-sorted lists truncate in place.
+func (c *Core) schedSquash(seq uint64) {
+	r := c.ready
+	for len(r) > 0 && r[len(r)-1].Seq > seq {
+		r = r[:len(r)-1]
+	}
+	c.ready = r
+	c.loadQ.truncSeq(seq)
+	c.storeQ.truncSeq(seq)
+	c.brq.truncSeq(seq)
+}
+
+// schedCommit maintains the queues as in commits (it is the oldest
+// in-flight instruction, so it is at the front of its queue).
+func (c *Core) schedCommit(in *DynInst) {
+	switch {
+	case in.IsLoad():
+		c.loadQ.popFront()
+	case in.IsStore():
+		c.storeQ.popFront()
+	case in.IsBranch():
+		c.brqClean()
+	}
+}
+
+// brqClean pops resolved (or squashed) branches off the front of the
+// unresolved-branch queue. Mid-queue branches that resolved out of order
+// stay until they reach the front; UnderShadow and ShadowDepth skip them by
+// state, exactly as the naive ROB walk does.
+func (c *Core) brqClean() {
+	q := c.brq.q
+	for len(q) > 0 && q[0].State != StDispatched && q[0].State != StExecuting {
+		q = q[1:]
+	}
+	c.brq.q = q
+}
+
+// oldestUnresolvedBranch returns the oldest in-flight conditional branch
+// that has not resolved, or nil.
+func (c *Core) oldestUnresolvedBranch() *DynInst {
+	c.brqClean()
+	if q := c.brq.q; len(q) > 0 {
+		return q[0]
+	}
+	return nil
+}
+
+// InFlightLoadsBefore calls fn for every in-flight (dispatched, executing
+// or done) load older than seq, oldest first, stopping early when fn
+// returns false. Defenses that scan the load queue (SpecLFB's
+// isPrevNoUnsafe) use it instead of walking the whole ROB; under the naive
+// schedule it degrades to the reference ROB walk.
+func (c *Core) InFlightLoadsBefore(seq uint64, fn func(*DynInst) bool) {
+	if c.naive {
+		for _, in := range c.rob {
+			if in.Seq >= seq {
+				return
+			}
+			if !in.IsLoad() || in.State == StCommitted || in.State == StSquashed {
+				continue
+			}
+			if !fn(in) {
+				return
+			}
+		}
+		return
+	}
+	for _, ld := range c.loadQ.q {
+		if ld.Seq >= seq {
+			return
+		}
+		if !fn(ld) {
+			return
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package uarch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/defense/cleanupspec"
+	"github.com/sith-lab/amulet-go/internal/defense/delayonmiss"
+	"github.com/sith-lab/amulet-go/internal/defense/fenceall"
+	"github.com/sith-lab/amulet-go/internal/defense/ghostminion"
+	"github.com/sith-lab/amulet-go/internal/defense/invisispec"
+	"github.com/sith-lab/amulet-go/internal/defense/speclfb"
+	"github.com/sith-lab/amulet-go/internal/defense/stt"
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// schedDefenses is the defense sweep of the scheduler equivalence tests:
+// every defense interacts with a different slice of the issue/writeback
+// machinery (delays, sinks, squash work, taint propagation, the ROB/LSQ
+// walks of SpecLFB and STT), so bit-identity must hold under all of them.
+func schedDefenses() map[string]func() uarch.Defense {
+	return map[string]func() uarch.Defense{
+		"baseline":    func() uarch.Defense { return uarch.NopDefense{} },
+		"invisispec":  func() uarch.Defense { return invisispec.New(invisispec.Config{}) },
+		"cleanupspec": func() uarch.Defense { return cleanupspec.New(cleanupspec.Config{}) },
+		"stt":         func() uarch.Defense { return stt.New(stt.Config{}) },
+		"speclfb":     func() uarch.Defense { return speclfb.New(speclfb.Config{}) },
+		"delayonmiss": func() uarch.Defense { return delayonmiss.New() },
+		"ghostminion": func() uarch.Defense { return ghostminion.New() },
+		"fenceall":    func() uarch.Defense { return fenceall.New() },
+	}
+}
+
+// compareCores runs the same test case on the event-driven and naive cores
+// and fails on any observable divergence: cycle count, stats, committed
+// architectural state, both µarch-order traces, the full debug log and the
+// L1D/D-TLB snapshots.
+func compareCores(t *testing.T, tag string, ev, nv *uarch.Core, prog *isa.Program, sb isa.Sandbox, in *isa.Input) {
+	t.Helper()
+	run := func(c *uarch.Core) {
+		t.Helper()
+		if err := c.LoadTest(prog, sb); err != nil {
+			t.Fatal(err)
+		}
+		c.ResetForInput(in)
+		c.Log.Enabled = true
+		if err := c.Run(); err != nil {
+			t.Fatalf("%s: %v\n%s", tag, err, prog)
+		}
+	}
+	run(ev)
+	run(nv)
+	if ev.EndCycle() != nv.EndCycle() {
+		t.Fatalf("%s: end cycle %d (event) vs %d (naive)\n%s", tag, ev.EndCycle(), nv.EndCycle(), prog)
+	}
+	if ev.Stats() != nv.Stats() {
+		t.Fatalf("%s: stats differ\nevent=%+v\nnaive=%+v\n%s", tag, ev.Stats(), nv.Stats(), prog)
+	}
+	if ev.Regs() != nv.Regs() {
+		t.Fatalf("%s: register files differ\n%s", tag, prog)
+	}
+	evLog, nvLog := ev.Log.Recs, nv.Log.Recs
+	if len(evLog) != len(nvLog) {
+		t.Fatalf("%s: %d log records (event) vs %d (naive)\nevent:\n%snaive:\n%s\n%s",
+			tag, len(evLog), len(nvLog), ev.Log.String(), nv.Log.String(), prog)
+	}
+	for i := range evLog {
+		if evLog[i] != nvLog[i] {
+			t.Fatalf("%s: log record %d differs: %v (event) vs %v (naive)\n%s",
+				tag, i, evLog[i], nvLog[i], prog)
+		}
+	}
+	evAcc, nvAcc := ev.AccessOrder(), nv.AccessOrder()
+	if len(evAcc) != len(nvAcc) {
+		t.Fatalf("%s: access-order lengths differ (%d vs %d)\n%s", tag, len(evAcc), len(nvAcc), prog)
+	}
+	for i := range evAcc {
+		if evAcc[i] != nvAcc[i] {
+			t.Fatalf("%s: access-order record %d differs\n%s", tag, i, prog)
+		}
+	}
+	evBr, nvBr := ev.BranchOrder(), nv.BranchOrder()
+	if len(evBr) != len(nvBr) {
+		t.Fatalf("%s: branch-order lengths differ\n%s", tag, prog)
+	}
+	for i := range evBr {
+		if evBr[i] != nvBr[i] {
+			t.Fatalf("%s: branch-order record %d differs\n%s", tag, i, prog)
+		}
+	}
+	for _, snap := range []struct {
+		name     string
+		ev, naiv []uint64
+	}{
+		{"L1D", ev.Hier.L1D.Snapshot(), nv.Hier.L1D.Snapshot()},
+		{"DTLB", ev.Hier.DTLB.Snapshot(), nv.Hier.DTLB.Snapshot()},
+		{"L1I", ev.Hier.L1I.Snapshot(), nv.Hier.L1I.Snapshot()},
+	} {
+		if len(snap.ev) != len(snap.naiv) {
+			t.Fatalf("%s: %s snapshot sizes differ\n%s", tag, snap.name, prog)
+		}
+		for i := range snap.ev {
+			if snap.ev[i] != snap.naiv[i] {
+				t.Fatalf("%s: %s snapshot differs at %d\n%s", tag, snap.name, i, prog)
+			}
+		}
+	}
+	if ev.BP.Snapshot() != nv.BP.Snapshot() {
+		t.Fatalf("%s: branch-predictor digests differ\n%s", tag, prog)
+	}
+}
+
+// TestSchedulerBitIdentity is the direct equivalence proof of the
+// event-driven scheduler: for every defense, random programs and inputs —
+// with predictor/cache state carried across inputs, the campaign
+// configuration — the event-driven and naive cores must produce identical
+// cycle counts, stats, debug logs, µarch-order traces and snapshots.
+func TestSchedulerBitIdentity(t *testing.T) {
+	for name, mk := range schedDefenses() {
+		t.Run(name, func(t *testing.T) {
+			gcfg := generator.DefaultConfig()
+			gcfg.Seed = 99
+			gcfg.Pages = 2
+			g := generator.New(gcfg)
+			sb := g.Sandbox()
+			evCfg := uarch.DefaultConfig()
+			evCfg.EventSchedule = true // paper geometry sits below the auto crossover
+			nvCfg := evCfg
+			nvCfg.EventSchedule = false
+			nvCfg.NaiveSchedule = true
+			ev := uarch.NewCore(evCfg, mk())
+			nv := uarch.NewCore(nvCfg, mk())
+			for p := 0; p < 25; p++ {
+				prog := g.Program()
+				for k := 0; k < 3; k++ {
+					in := g.Input()
+					compareCores(t, fmt.Sprintf("%s prog %d input %d", name, p, k), ev, nv, prog, sb, in)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerBitIdentitySmallROB re-runs the baseline equivalence with a
+// tiny ROB and narrow pipeline, stressing window compaction, fence-at-head
+// serialization and the IssueWidth budget cut.
+func TestSchedulerBitIdentitySmallROB(t *testing.T) {
+	gcfg := generator.DefaultConfig()
+	gcfg.Seed = 7
+	g := generator.New(gcfg)
+	sb := g.Sandbox()
+	evCfg := uarch.DefaultConfig()
+	evCfg.EventSchedule = true
+	evCfg.ROBSize = 8
+	evCfg.IssueWidth = 2
+	evCfg.FetchWidth = 2
+	evCfg.CommitWidth = 2
+	nvCfg := evCfg
+	nvCfg.EventSchedule = false
+	nvCfg.NaiveSchedule = true
+	ev := uarch.NewCore(evCfg, nil)
+	nv := uarch.NewCore(nvCfg, nil)
+	for p := 0; p < 40; p++ {
+		prog := g.Program()
+		in := g.Input()
+		compareCores(t, fmt.Sprintf("prog %d", p), ev, nv, prog, sb, in)
+	}
+}
+
+// TestSchedulerCoverageIdentity pins the coverage-mode equivalence: the
+// speculation-depth walk (ShadowDepth over the branch queue vs the ROB) and
+// every defense-hook feature must light identical bits.
+func TestSchedulerCoverageIdentity(t *testing.T) {
+	for _, name := range []string{"baseline", "stt", "speclfb"} {
+		mk := schedDefenses()[name]
+		t.Run(name, func(t *testing.T) {
+			gcfg := generator.DefaultConfig()
+			gcfg.Seed = 42
+			g := generator.New(gcfg)
+			sb := g.Sandbox()
+			evCfg := uarch.DefaultConfig()
+			evCfg.EventSchedule = true // paper geometry sits below the auto crossover
+			nvCfg := evCfg
+			nvCfg.EventSchedule = false
+			nvCfg.NaiveSchedule = true
+			ev := uarch.NewCore(evCfg, mk())
+			nv := uarch.NewCore(nvCfg, mk())
+			evCov, nvCov := uarch.NewCoverage(), uarch.NewCoverage()
+			ev.SetCoverage(evCov)
+			nv.SetCoverage(nvCov)
+			for p := 0; p < 15; p++ {
+				prog := g.Program()
+				in := g.Input()
+				compareCores(t, fmt.Sprintf("%s prog %d", name, p), ev, nv, prog, sb, in)
+				if evCov.Digest() != nvCov.Digest() {
+					t.Fatalf("prog %d: coverage digests differ (event %#x, naive %#x)\n%s",
+						p, evCov.Digest(), nvCov.Digest(), prog)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreTLBLatencyInvisible pins the decision to discard the store's
+// address-translation latency (tryIssueStore): the translation's µarch side
+// effect — TLB state, the KV3 leak surface — is modeled, but its latency
+// cannot be, because a store produces no register value and commit drains
+// at CommitWidth regardless. A cold-TLB store and a warm-TLB store must
+// therefore retire on the same cycle while their TLB-miss counters differ.
+func TestStoreTLBLatencyInvisible(t *testing.T) {
+	sb := isa.Sandbox{Pages: 2}
+	prog := &isa.Program{Insts: []isa.Inst{
+		isa.MovImm(1, 0xab),
+		isa.Store(2, 0, 1, 8), // translates at execute; R2 picks the page
+	}}
+	for i := 0; i < 20; i++ {
+		prog.Insts = append(prog.Insts, isa.ALUImm(isa.OpAdd, 3, 3, 1))
+	}
+	in := isa.NewInput(sb)
+	in.Regs[2] = uint64(sb.Size()) / 2 // second page: cold on a fresh TLB
+
+	for _, naive := range []bool{false, true} {
+		cfg := uarch.DefaultConfig()
+		cfg.EventSchedule = !naive
+		cfg.NaiveSchedule = naive
+		core := uarch.NewCore(cfg, nil)
+		if err := core.LoadTest(prog, sb); err != nil {
+			t.Fatal(err)
+		}
+		run := func(warmTLB bool) (uint64, uint64) {
+			core.ResetUarch()
+			if warmTLB {
+				core.Hier.TranslateData(0, isa.DataBase+in.Regs[2], true)
+			}
+			core.ResetForInput(in)
+			if err := core.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return core.EndCycle(), core.Stats().TLBMisses
+		}
+		coldEnd, coldMiss := run(false)
+		warmEnd, warmMiss := run(true)
+		if coldMiss == warmMiss {
+			t.Fatalf("naive=%v: TLB warmup not observed (cold %d misses, warm %d)", naive, coldMiss, warmMiss)
+		}
+		if coldEnd != warmEnd {
+			t.Errorf("naive=%v: store TLB latency leaked into timing: cold end %d, warm end %d",
+				naive, coldEnd, warmEnd)
+		}
+	}
+}
+
+// TestCoreRunSteadyStateAllocs pins the zero-alloc invariant of the
+// event-driven scheduler: after warm-up, the wakeup heap, ready/wake lists,
+// load/store queues and branch queue are all rewound per input — a full
+// ResetForInput + Run cycle allocates nothing.
+func TestCoreRunSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		set  func(*uarch.Config)
+	}{
+		{"event", func(c *uarch.Config) { c.EventSchedule = true }},
+		{"naive", func(c *uarch.Config) { c.NaiveSchedule = true }},
+		{"auto", func(*uarch.Config) {}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			gcfg := generator.DefaultConfig()
+			gcfg.Seed = 5
+			g := generator.New(gcfg)
+			sb := g.Sandbox()
+			cfg := uarch.DefaultConfig()
+			mode.set(&cfg)
+			core := uarch.NewCore(cfg, nil)
+			prog := g.Program()
+			in := g.Input()
+			if err := core.LoadTest(prog, sb); err != nil {
+				t.Fatal(err)
+			}
+			run := func() {
+				core.ResetForInput(in)
+				if err := core.Run(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 5; i++ {
+				run() // size the arena, scheduler buffers and trace slices
+			}
+			if allocs := testing.AllocsPerRun(50, run); allocs > 0 {
+				t.Errorf("Core.Run allocates %v objects per input in steady state, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreRun measures the raw pipeline: one simulated test case per
+// iteration with Opt-style resets, on the event-driven and the naive
+// scheduler. The ratio between the two sub-benchmarks is the scheduler's
+// contribution in isolation, without generation or comparison costs.
+func BenchmarkCoreRun(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"event", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			gcfg := generator.DefaultConfig()
+			gcfg.Seed = 17
+			g := generator.New(gcfg)
+			sb := g.Sandbox()
+			cfg := uarch.DefaultConfig()
+			cfg.EventSchedule = !mode.naive
+			cfg.NaiveSchedule = mode.naive
+			core := uarch.NewCore(cfg, nil)
+			const nProgs = 8
+			progs := make([]*isa.Program, nProgs)
+			inputs := make([]*isa.Input, nProgs)
+			for i := range progs {
+				progs[i] = g.Program()
+				inputs[i] = g.Input()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % nProgs
+				if err := core.LoadTest(progs[k], sb); err != nil {
+					b.Fatal(err)
+				}
+				core.ResetForInput(inputs[k])
+				if err := core.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreRunLargeWindow is the crossover benchmark behind the auto
+// schedule choice (EventScheduleMinROB): a 256-entry window, ~200-inst
+// programs and a fill-primed (all-miss) L1D — the regime where per-cycle
+// ROB scans hurt and the event-driven structures win.
+func BenchmarkCoreRunLargeWindow(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"event", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			gcfg := generator.DefaultConfig()
+			gcfg.Seed = 17
+			gcfg.MinInsts = 180
+			gcfg.MaxInsts = 250
+			gcfg.MaxBlocks = 8
+			g := generator.New(gcfg)
+			sb := g.Sandbox()
+			cfg := uarch.DefaultConfig()
+			cfg.ROBSize = 256
+			cfg.EventSchedule = !mode.naive
+			cfg.NaiveSchedule = mode.naive
+			core := uarch.NewCore(cfg, nil)
+			const nProgs = 8
+			progs := make([]*isa.Program, nProgs)
+			inputs := make([]*isa.Input, nProgs)
+			for i := range progs {
+				progs[i] = g.Program()
+				inputs[i] = g.Input()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % nProgs
+				if err := core.LoadTest(progs[k], sb); err != nil {
+					b.Fatal(err)
+				}
+				core.Hier.PrimeL1D(true)
+				core.ResetForInput(inputs[k])
+				if err := core.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
