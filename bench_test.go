@@ -80,7 +80,7 @@ func BenchmarkTable5_TraceFormats(b *testing.B) {
 // on the patched InvisiSpec; the 2-MSHR row exposes UV2).
 func BenchmarkTable6_Amplification(b *testing.B) {
 	sc := benchScale()
-	sc.Seed = 4 // a seed whose budget reliably reaches the UV2 pattern
+	sc.Seed = 5 // a seed whose budget reliably reaches the UV2 pattern
 	sc.Programs = 100
 	sc.BaseInputs = 8
 	sc.Mutants = 5
@@ -273,6 +273,16 @@ func BenchmarkCampaignSerialVsEngine(b *testing.B) {
 		run(b, "engine", runtime.GOMAXPROCS(0), func() (*fuzzer.CampaignResult, error) {
 			ccfg := experiments.CampaignConfig(spec, sc)
 			return engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg})
+		})
+	})
+	// A pinned four-worker run tracks scaling at a machine-independent
+	// worker count: GOMAXPROCS varies across CI runners and laptops, so the
+	// all-cores entry alone cannot distinguish per-worker regressions from
+	// core-count differences.
+	b.Run("engine-w4", func(b *testing.B) {
+		run(b, "engine-w4", 4, func() (*fuzzer.CampaignResult, error) {
+			ccfg := experiments.CampaignConfig(spec, sc)
+			return engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: 4})
 		})
 	})
 	writeEngineBenchJSON(b, records)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // record mirrors bench_test.go's engineBenchRecord (kept in sync by the
@@ -76,12 +77,13 @@ func main() {
 	fmt.Println("| --- | ---: | ---: | ---: |")
 	failed := false
 	compared, improved := 0, 0
+	var missing []string
 	for _, b := range sortedKeys(base) {
 		old := base[b]
 		now, ok := cur[b]
 		if !ok {
 			fmt.Printf("| %s | %.0f | _missing_ | — |\n", b, old.CasesPerSec)
-			failed = true
+			missing = append(missing, b)
 			continue
 		}
 		compared++
@@ -108,6 +110,15 @@ func main() {
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "amulet-benchdiff: no common benchmarks to compare")
 		os.Exit(2)
+	}
+	// A baseline entry with no fresh counterpart is its own failure mode —
+	// the benchmark was renamed or dropped, not slow — and gets its own
+	// message so it cannot masquerade as a throughput regression.
+	if len(missing) > 0 {
+		fmt.Printf("**FAIL**: %d baseline benchmark(s) missing from the fresh results: %s.\n"+
+			"Renamed or removed benchmarks must refresh the committed baseline in the same change.\n",
+			len(missing), strings.Join(missing, ", "))
+		os.Exit(1)
 	}
 	if failed {
 		fmt.Printf("**FAIL**: cases/s regressed more than %.0f%% against the baseline.\n", *maxRegress)

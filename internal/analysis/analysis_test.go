@@ -98,7 +98,7 @@ func TestClassifySTTKV3(t *testing.T) {
 // TestClassifyUV2Interference verifies the MSHR-interference signature on
 // the amplified, patched InvisiSpec.
 func TestClassifyUV2Interference(t *testing.T) {
-	cfg := baseConfig(4, 400)
+	cfg := baseConfig(5, 400)
 	cfg.Exec.Core.Hier.L1D.Ways = 2
 	cfg.Exec.Core.Hier.MSHRs = 2
 	cfg.DefenseFactory = func() uarch.Defense { return invisispec.New(invisispec.Config{PatchUV1: true}) }

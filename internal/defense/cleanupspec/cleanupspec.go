@@ -169,6 +169,10 @@ func (cs *CleanupSpec) OnFills(fills []mem.CompletedFill) {
 // OnTick implements uarch.Defense.
 func (cs *CleanupSpec) OnTick() {}
 
+// TickIdle implements uarch.Defense: no per-cycle work (rollback timing
+// lives in MSHR occupancy, a pure function of the cycle).
+func (cs *CleanupSpec) TickIdle() bool { return true }
+
 // OnSquash implements uarch.Defense: roll back the cache state changes of
 // every squashed speculative access that has metadata. Each rollback
 // operation occupies an MSHR for CleanupCycles (the restore fetches the

@@ -82,3 +82,6 @@ func (d *DelayOnMiss) OnFills([]mem.CompletedFill) {}
 
 // OnTick implements uarch.Defense.
 func (d *DelayOnMiss) OnTick() {}
+
+// TickIdle implements uarch.Defense: no per-cycle work.
+func (d *DelayOnMiss) TickIdle() bool { return true }

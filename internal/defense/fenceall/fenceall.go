@@ -65,3 +65,6 @@ func (FenceAll) OnFills([]mem.CompletedFill) {}
 
 // OnTick implements uarch.Defense.
 func (FenceAll) OnTick() {}
+
+// TickIdle implements uarch.Defense: no per-cycle work.
+func (FenceAll) TickIdle() bool { return true }

@@ -103,3 +103,6 @@ func (g *GhostMinion) OnFills([]mem.CompletedFill) {}
 
 // OnTick implements uarch.Defense.
 func (g *GhostMinion) OnTick() {}
+
+// TickIdle implements uarch.Defense: no per-cycle work.
+func (g *GhostMinion) TickIdle() bool { return true }

@@ -126,6 +126,12 @@ func (v *InvisiSpec) OnFills([]mem.CompletedFill) {}
 // OnTick implements uarch.Defense: keep draining the in-order expose queue.
 func (v *InvisiSpec) OnTick() { v.drainExposes() }
 
+// TickIdle implements uarch.Defense: the tick only matters while exposes
+// are queued. New exposes are enqueued at commit, which cannot happen
+// inside a quiescent span, so an empty queue stays empty until the next
+// active cycle.
+func (v *InvisiSpec) TickIdle() bool { return len(v.exposeQ) == 0 }
+
 // drainExposes issues queued Expose requests in order. An expose needs a
 // free MSHR for its coherence transaction; while none is free the whole
 // in-order queue stalls behind the head. Exposes that cannot issue before

@@ -141,3 +141,6 @@ func (s *STT) OnFills([]mem.CompletedFill) {}
 
 // OnTick implements uarch.Defense.
 func (s *STT) OnTick() {}
+
+// TickIdle implements uarch.Defense: no per-cycle work.
+func (s *STT) TickIdle() bool { return true }

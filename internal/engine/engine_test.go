@@ -97,7 +97,7 @@ func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
 // violating program index regardless of scheduling.
 func TestEngineStopOnFirstDeterministic(t *testing.T) {
 	runAt := func(workers int) []string {
-		cfg := engineConfig(3, 1, 20)
+		cfg := engineConfig(5, 1, 20)
 		cfg.Campaign.Base.StopOnFirstViolation = true
 		cfg.Workers = workers
 		res, err := RunCampaign(context.Background(), cfg)

@@ -72,6 +72,15 @@ type UTrace struct {
 	// digest is computed at most once per trace. reset() clears it.
 	hash     uint64
 	hashDone bool
+
+	// l1dSum/tlbSum/l1iSum are the set-shaped sections' multiset digests
+	// (Σ Mix64(word)) when sumsDone is set. The extractor fills them from
+	// the structures' incrementally maintained content digests, so
+	// computeHash skips re-mixing the section words; hand-built traces and
+	// the FullDigest reference path leave sumsDone unset and computeHash
+	// derives identical sums by walking the slices.
+	l1dSum, tlbSum, l1iSum uint64
+	sumsDone               bool
 }
 
 // Hash returns a digest for fast grouping and hash-first comparison. The
@@ -84,24 +93,26 @@ func (t *UTrace) Hash() uint64 {
 	return t.hash
 }
 
-// computeHash chains the splitmix64 finalizer over every word of attacker-
-// visible state. Section lengths are mixed in as separators so sections
-// cannot alias each other.
+// computeHash digests the attacker-visible state. The set-shaped sections
+// (L1D, TLB, L1I) enter as multiset sums of the splitmix64 finalizer —
+// order-free, so the sum is a pure function of the section content and
+// matches the per-set digests mem.Cache/mem.TLB maintain incrementally;
+// when the extractor provided those sums, the section words are not walked
+// at all. Lengths and the ordered sections chain the finalizer as before,
+// with section lengths as separators so sections cannot alias each other.
 func (t *UTrace) computeHash() uint64 {
+	l1d, tlb, l1i := t.l1dSum, t.tlbSum, t.l1iSum
+	if !t.sumsDone {
+		l1d, tlb, l1i = sectionSum(t.L1D), sectionSum(t.TLB), sectionSum(t.L1I)
+	}
 	h := uarch.Mix64(uint64(t.Format) + 1)
 	mix := func(v uint64) { h = uarch.Mix64(h ^ v) }
 	mix(uint64(len(t.L1D)))
-	for _, v := range t.L1D {
-		mix(v)
-	}
+	mix(l1d)
 	mix(uint64(len(t.TLB)))
-	for _, v := range t.TLB {
-		mix(v)
-	}
+	mix(tlb)
 	mix(uint64(len(t.L1I)))
-	for _, v := range t.L1I {
-		mix(v)
-	}
+	mix(l1i)
 	mix(t.BPDigest)
 	mix(uint64(len(t.MemOrder)))
 	for _, a := range t.MemOrder {
@@ -124,6 +135,26 @@ func (t *UTrace) computeHash() uint64 {
 	return h
 }
 
+// sectionSum folds a section's words into the order-free multiset digest:
+// the full-walk reference path, and the definition the incremental cache
+// digests are cross-checked against.
+func sectionSum(vs []uint64) uint64 {
+	var s uint64
+	for _, v := range vs {
+		s += uarch.Mix64(v)
+	}
+	return s
+}
+
+// setSectionSums records the set-shaped sections' digests as provided by
+// the memory structures' incremental tracking; Hash then skips the section
+// walks. Callers must pass exactly sectionSum of each populated section
+// (empty sections sum to 0).
+func (t *UTrace) setSectionSums(l1d, tlb, l1i uint64) {
+	t.l1dSum, t.tlbSum, t.l1iSum = l1d, tlb, l1i
+	t.sumsDone = true
+}
+
 // reset clears the trace for reuse, keeping the slice capacities.
 func (t *UTrace) reset() {
 	t.Format = 0
@@ -136,6 +167,8 @@ func (t *UTrace) reset() {
 	t.EndCycle = 0
 	t.hash = 0
 	t.hashDone = false
+	t.l1dSum, t.tlbSum, t.l1iSum = 0, 0, 0
+	t.sumsDone = false
 }
 
 // Differs reports whether two traces expose different attacker

@@ -50,10 +50,40 @@ func TestViolationSetDeterminism(t *testing.T) {
 		violations  int
 		fingerprint uint64
 	}{
-		{"baseline", 12, 0x55a5d1a9d682b04e},
-		{"cleanupspec", 7, 0x48247748e3b51f39},
-		{"invisispec", 11, 0xddcf84005802af1c},
+		// Re-pinned once when the generator switched from math/rand to the
+		// counter-based splitmix64 stream (generator/rng.go): every random
+		// draw changed value, so the campaigns generate different programs
+		// and inputs. The pre-switch goldens — reproducible by setting
+		// generator.Config.LegacyRand — were:
+		//   {"baseline", 12, 0x55a5d1a9d682b04e}
+		//   {"cleanupspec", 7, 0x48247748e3b51f39}
+		//   {"invisispec", 11, 0xddcf84005802af1c}
+		{"baseline", 8, 0xab934f6f38c453de},
+		{"cleanupspec", 4, 0x2f34157be71a08ad},
+		{"invisispec", 7, 0x51c232367dd769ba},
 	}
+	// The legacy math/rand stream must keep reproducing its own golden: the
+	// knob exists precisely so pre-switch results stay reachable.
+	t.Run("legacy-stream", func(t *testing.T) {
+		spec, err := experiments.DefenseByName("baseline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+		ccfg := experiments.CampaignConfig(spec, sc)
+		ccfg.Base.Gen.LegacyRand = true
+		res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 12 {
+			t.Errorf("legacy baseline: %d violations, want 12", len(res.Violations))
+		}
+		if fp := violationFingerprint(res.Violations); fp != 0x55a5d1a9d682b04e {
+			t.Errorf("legacy baseline: fingerprint %#x, want 0x55a5d1a9d682b04e", fp)
+		}
+	})
+
 	for _, g := range golden {
 		for _, workers := range []int{1, 4} {
 			for _, fullPrime := range []bool{false, true} {

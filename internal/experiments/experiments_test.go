@@ -83,11 +83,12 @@ func TestTable6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment")
 	}
-	// Seed 4 is a known seed whose campaign hits the UV2 interference
-	// pattern within 200 programs; random seeds need the paper-scale budget
-	// (UV2 appears roughly once per ~20k test cases at this configuration).
+	// Seed 5 is a known seed (under the counter-based stream) whose campaign
+	// hits the UV2 interference pattern within 200 programs; random seeds
+	// need the paper-scale budget (UV2 appears roughly once per ~20k test
+	// cases at this configuration).
 	sc := tinyScale()
-	sc.Seed = 4
+	sc.Seed = 5
 	sc.Instances = 2
 	sc.Programs = 200
 	sc.BaseInputs = 8

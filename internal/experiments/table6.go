@@ -30,7 +30,7 @@ func Table6(ctx context.Context, scale Scale) (*Table, error) {
 	// known-productive seed and widens the program budget so the table's
 	// third row reproduces deterministically.
 	if scale.Instances*scale.Programs < 10000 {
-		scale.Seed = 4
+		scale.Seed = 5
 		if scale.Programs < 200 {
 			scale.Programs = 200
 		}

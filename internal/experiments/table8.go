@@ -24,7 +24,7 @@ func Table8(ctx context.Context, scale Scale) (*Table, error) {
 		// deterministically.
 		sc := scale
 		if sc.Instances*sc.Programs < 10000 {
-			sc.Seed = 4
+			sc.Seed = 5
 			sc.BaseInputs = 8
 			sc.Mutants = 5
 			if sc.Programs < 150 {

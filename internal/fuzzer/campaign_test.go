@@ -80,7 +80,7 @@ func TestCampaignInvisiSpecPatchedClean(t *testing.T) {
 // patched InvisiSpec is clean at default sizes but leaks through MSHR
 // interference (UV2) once the structures shrink to 2 ways / 2 MSHRs.
 func TestCampaignInvisiSpecAmplification(t *testing.T) {
-	cfg := campaignConfig(4, 400)
+	cfg := campaignConfig(5, 400)
 	cfg.StopOnFirstViolation = true
 	cfg.Exec.Core.Hier.L1D.Ways = 2
 	cfg.Exec.Core.Hier.MSHRs = 2

@@ -210,7 +210,7 @@ func New(cfg Config) (*Fuzzer, error) {
 	return &Fuzzer{
 		cfg:  cfg,
 		gen:  generator.New(genCfg),
-		mut:  generator.NewMutator(cfg.Seed^mutatorSeedMix, cfg.mutateRegs()),
+		mut:  generator.NewMutator(cfg.Seed^mutatorSeedMix, cfg.mutateRegs(), cfg.Gen.LegacyRand),
 		exec: exec,
 		def:  def,
 		tp:   &contract.TracePool{},
@@ -371,7 +371,7 @@ func NewUnitGenStrategy(cfg Config, seed int64, strat generator.Strategy) (*Unit
 	return &UnitGen{
 		cfg:   cfg,
 		gen:   generator.New(genCfg),
-		mut:   generator.NewMutator(seed^mutatorSeedMix, cfg.mutateRegs()),
+		mut:   generator.NewMutator(seed^mutatorSeedMix, cfg.mutateRegs(), cfg.Gen.LegacyRand),
 		strat: strat,
 	}, nil
 }

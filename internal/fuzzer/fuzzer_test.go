@@ -227,9 +227,12 @@ func TestStrategyNaiveCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Metrics.Starts != res.TestCases {
-		t.Errorf("Naive must start the simulator per test case: %d starts, %d tests",
-			res.Metrics.Starts, res.TestCases)
+	// Validation replays (three runs per validation) intentionally reuse a
+	// captured context without a fresh startup — Definition 2.1 requires the
+	// identical-µ replay — so they count as test cases but not starts.
+	if want := res.TestCases - 3*res.ValidationRuns; res.Metrics.Starts != want {
+		t.Errorf("Naive must start the simulator per fuzzing test case: %d starts, want %d (%d tests, %d validations)",
+			res.Metrics.Starts, want, res.TestCases, res.ValidationRuns)
 	}
 }
 

@@ -7,7 +7,6 @@ package generator
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/sith-lab/amulet-go/internal/isa"
 )
@@ -15,6 +14,12 @@ import (
 // Config tunes program generation.
 type Config struct {
 	Seed int64
+
+	// LegacyRand draws from math/rand instead of the default counter-based
+	// splitmix64 stream (rng.go). The streams produce different values, so
+	// the switch re-pinned every seed-dependent golden; this knob keeps the
+	// old stream reachable for A/B comparison against pre-switch results.
+	LegacyRand bool
 
 	MinInsts  int // minimum instructions per program
 	MaxInsts  int // maximum instructions per program
@@ -69,7 +74,7 @@ func (c Config) Validate() error {
 // campaigns are reproducible.
 type Generator struct {
 	cfg Config
-	rng *rand.Rand
+	rng rngStream
 }
 
 // New builds a generator. It panics on invalid configuration.
@@ -77,7 +82,7 @@ func New(cfg Config) *Generator {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Generator{cfg: cfg, rng: newRNG(cfg.Seed, cfg.LegacyRand)}
 }
 
 // Sandbox returns the sandbox geometry programs are generated for.

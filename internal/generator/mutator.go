@@ -1,8 +1,6 @@
 package generator
 
 import (
-	"math/rand"
-
 	"github.com/sith-lab/amulet-go/internal/contract"
 	"github.com/sith-lab/amulet-go/internal/isa"
 )
@@ -13,7 +11,7 @@ import (
 // test case. The randomized state is the "secret" whose micro-architectural
 // visibility the fuzzer then checks.
 type Mutator struct {
-	rng  *rand.Rand
+	rng  rngStream
 	buf  []byte     // scratch for bulk randomization
 	cand *isa.Input // reusable candidate; cloned only when a mutant verifies
 
@@ -25,9 +23,10 @@ type Mutator struct {
 	MutateRegs bool
 }
 
-// NewMutator builds a mutator with its own PRNG stream.
-func NewMutator(seed int64, mutateRegs bool) *Mutator {
-	return &Mutator{rng: rand.New(rand.NewSource(seed)), MutateRegs: mutateRegs}
+// NewMutator builds a mutator with its own PRNG stream; legacy selects the
+// math/rand stream (Config.LegacyRand semantics).
+func NewMutator(seed int64, mutateRegs, legacy bool) *Mutator {
+	return &Mutator{rng: newRNG(seed, legacy), MutateRegs: mutateRegs}
 }
 
 // Mutate derives a contract-preserving mutant of base. usage and baseTrace

@@ -69,6 +69,31 @@ type Cache struct {
 	// touching only the sets a test case actually dirtied; a fresh cache
 	// starts all-dirty because its state is not any canonical prime state.
 	dirty []uint64
+
+	// setDig holds each set's content digest — the multiset sum of
+	// Mix64(lineAddr) over the set's valid lines — and digDirty flags the
+	// sets whose entry is stale. The two bitmaps are deliberately separate:
+	// dirty means "not bit-identical to the canonical prime state" and is
+	// cleared by the prime paths, digDirty means "setDig is stale" and is
+	// cleared by ContentDigest. Only content changes mark digDirty — an
+	// LRU-updating hit dirties the prime bitmap but leaves the digest alone,
+	// because the digest (like the trace snapshot) sees addresses only.
+	setDig   []uint64
+	digDirty []uint64
+
+	// snap, snapLen and snapDirty maintain the canonical snapshot the same
+	// way setDig/digDirty maintain the digest: snap holds each set's valid
+	// line addresses sorted ascending in a fixed-stride segment (set s
+	// occupies snap[s*Ways : s*Ways+snapLen[s]]) and snapDirty flags the
+	// segments staled by a content change. SnapshotInto then refreshes only
+	// the stale segments and concatenates — a steady-state test case stales
+	// a handful of sets, so trace extraction degenerates to a copy instead
+	// of a Sets*Ways walk with per-line insertion sorting. The buffers stay
+	// nil until the first SnapshotInto, so untraced caches (the L2) never
+	// pay for them.
+	snap      []uint64
+	snapLen   []int32
+	snapDirty []uint64
 }
 
 // NewCache builds a cache. It panics on invalid configuration: cache
@@ -88,8 +113,11 @@ func NewCache(cfg CacheConfig) *Cache {
 		setMask:   uint64(cfg.Sets - 1),
 		lineMask:  ^(uint64(cfg.LineSize) - 1),
 		dirty:     make([]uint64, (cfg.Sets+63)/64),
+		setDig:    make([]uint64, cfg.Sets),
+		digDirty:  make([]uint64, (cfg.Sets+63)/64),
 	}
 	c.markAllDirty()
+	c.markAllDigDirty()
 	return c
 }
 
@@ -119,6 +147,104 @@ func (c *Cache) clearDirtyBits() {
 func (c *Cache) dirtyAt(addr uint64) bool {
 	s := (addr >> c.lineShift) & c.setMask
 	return c.dirty[s>>6]&(1<<(s&63)) != 0
+}
+
+// setAbsorbsInstalls reports whether installing every address in cls into
+// set s and then invalidating them all would leave the set's content
+// untouched: none is already resident, and the invalid ways outnumber the
+// installs, so no install ever evicts a live line. The prime replay uses
+// it to skip such round trips wholesale; only the LRU clock advance
+// remains, which the caller compensates.
+func (c *Cache) setAbsorbsInstalls(s int, cls []uint64) bool {
+	free := 0
+	for _, ln := range c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways] {
+		if ln.key == 0 {
+			free++
+			continue
+		}
+		for _, cl := range cls {
+			if ln.key == c.LineAddr(cl)+1 {
+				return false
+			}
+		}
+	}
+	return free >= len(cls)
+}
+
+// allDirty reports whether every set is marked dirty — the state a bulk
+// change (Restore, InvalidateAll) leaves behind. With no clean set left,
+// an incremental prime has no canonical-state assumption to violate: it
+// restores or replays every set, which is exactly the full prime's pass.
+func (c *Cache) allDirty() bool {
+	full := c.cfg.Sets >> 6
+	for i := 0; i < full; i++ {
+		if c.dirty[i] != ^uint64(0) {
+			return false
+		}
+	}
+	if rem := uint(c.cfg.Sets & 63); rem != 0 {
+		mask := uint64(1)<<rem - 1
+		if c.dirty[full]&mask != mask {
+			return false
+		}
+	}
+	return true
+}
+
+// markDigDirty records a content change (a line appearing or vanishing) of
+// the set containing addr, staling its setDig entry and, once snapshot
+// tracking is live, its snapshot segment.
+func (c *Cache) markDigDirty(addr uint64) {
+	s := (addr >> c.lineShift) & c.setMask
+	c.digDirty[s>>6] |= 1 << (s & 63)
+	if c.snapDirty != nil {
+		c.snapDirty[s>>6] |= 1 << (s & 63)
+	}
+}
+
+// markAllDigDirty stales every set's digest and snapshot segment (bulk
+// state changes).
+func (c *Cache) markAllDigDirty() {
+	for i := range c.digDirty {
+		c.digDirty[i] = ^uint64(0)
+	}
+	for i := range c.snapDirty {
+		c.snapDirty[i] = ^uint64(0)
+	}
+}
+
+// ContentDigest returns the multiset digest of the cache content: the sum
+// of Mix64(lineAddr) over every valid line, which is exactly the digest of
+// the canonical Snapshot (every line maps to one set, so the address
+// multiset determines the snapshot and vice versa). Only sets flagged in
+// digDirty are re-walked; a steady-state test case stales a handful of
+// sets, so the refresh touches a few dozen lines instead of Sets*Ways.
+func (c *Cache) ContentDigest() uint64 {
+	ways := c.cfg.Ways
+	for wi, word := range c.digDirty {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := wi<<6 + b
+			if s >= c.cfg.Sets {
+				break
+			}
+			var d uint64
+			base := s * ways
+			for _, ln := range c.lines[base : base+ways] {
+				if ln.key != 0 {
+					d += Mix64(ln.key - 1)
+				}
+			}
+			c.setDig[s] = d
+		}
+		c.digDirty[wi] = 0
+	}
+	var total uint64
+	for _, d := range c.setDig {
+		total += d
+	}
+	return total
 }
 
 // Config returns the cache geometry.
@@ -250,6 +376,7 @@ func (c *Cache) Install(addr uint64) (victim uint64, evicted bool) {
 	c.useTick++
 	set[w] = cacheLine{key: c.LineAddr(addr) + 1, lastUse: c.useTick}
 	c.markDirty(addr)
+	c.markDigDirty(addr)
 	return victim, evicted
 }
 
@@ -271,6 +398,7 @@ func (c *Cache) EvictVictim(addr uint64) (victim uint64, evicted bool) {
 	victim = set[w].addr()
 	set[w] = cacheLine{}
 	c.markDirty(addr)
+	c.markDigDirty(addr)
 	return victim, true
 }
 
@@ -283,6 +411,7 @@ func (c *Cache) Invalidate(addr uint64) bool {
 	}
 	c.lines[idx] = cacheLine{}
 	c.markDirty(addr)
+	c.markDigDirty(addr)
 	return true
 }
 
@@ -292,6 +421,7 @@ func (c *Cache) InvalidateAll() {
 	clear(c.lines)
 	c.useTick = 0
 	c.markAllDirty()
+	c.markAllDigDirty()
 }
 
 // InvalidateDirty clears only the sets mutated since the dirty bitmap was
@@ -302,6 +432,15 @@ func (c *Cache) InvalidateAll() {
 func (c *Cache) InvalidateDirty() {
 	ways := c.cfg.Ways
 	for wi, word := range c.dirty {
+		// The cleared sets change content, so their digests and snapshot
+		// segments go stale too (in practice they already are — a set only
+		// holds lines here if the run installed them, which staled both —
+		// but the OR keeps the invariant local instead of relying on that
+		// argument).
+		c.digDirty[wi] |= word
+		if c.snapDirty != nil {
+			c.snapDirty[wi] |= word
+		}
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << uint(b)
@@ -336,7 +475,61 @@ func (c *Cache) Snapshot() []uint64 {
 // that, yet its bottom-up run merge was ~19% of campaign CPU once priming
 // was amortized. The human-readable diff renderers sort their scratch
 // copies on demand (they already did, for hand-built traces in tests).
+// The segments are maintained incrementally: only sets whose content
+// changed since the last snapshot (snapDirty) re-derive their sorted
+// segment from the line array; everything else is a straight copy of the
+// cached segment. SnapshotRef is the from-scratch reference derivation the
+// incremental path is cross-checked against.
 func (c *Cache) SnapshotInto(buf []uint64) []uint64 {
+	sets, ways := c.cfg.Sets, c.cfg.Ways
+	if c.snap == nil {
+		// First snapshot of this cache: allocate the segment store and
+		// derive everything. From here on markDigDirty keeps it current.
+		c.snap = make([]uint64, sets*ways)
+		c.snapLen = make([]int32, sets)
+		c.snapDirty = make([]uint64, (sets+63)/64)
+		for i := range c.snapDirty {
+			c.snapDirty[i] = ^uint64(0)
+		}
+	}
+	for wi, word := range c.snapDirty {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := wi<<6 + b
+			if s >= sets {
+				break
+			}
+			base := s * ways
+			seg := c.snap[base:base]
+			for w := 0; w < ways; w++ {
+				if k := c.lines[base+w].key; k != 0 {
+					addr := k - 1
+					i := len(seg)
+					seg = append(seg, addr)
+					for i > 0 && seg[i-1] > addr {
+						seg[i] = seg[i-1]
+						i--
+					}
+					seg[i] = addr
+				}
+			}
+			c.snapLen[s] = int32(len(seg))
+		}
+		c.snapDirty[wi] = 0
+	}
+	for s := 0; s < sets; s++ {
+		base := s * ways
+		buf = append(buf, c.snap[base:base+int(c.snapLen[s])]...)
+	}
+	return buf
+}
+
+// SnapshotRef derives the canonical snapshot directly from the line array,
+// bypassing the incrementally maintained segments. It is the reference
+// definition SnapshotInto is tested against and is not used on any hot
+// path.
+func (c *Cache) SnapshotRef(buf []uint64) []uint64 {
 	sets, ways := c.cfg.Sets, c.cfg.Ways
 	for s := 0; s < sets; s++ {
 		base := s * ways
@@ -402,4 +595,5 @@ func (c *Cache) Restore(st *CacheState) {
 	copy(c.lines, st.lines)
 	c.useTick = st.useTick
 	c.markAllDirty()
+	c.markAllDigDirty()
 }

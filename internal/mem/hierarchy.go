@@ -157,10 +157,25 @@ type Hierarchy struct {
 	tplTLB     []tlbEntry
 	tplTLBTick uint64
 
+	// tplL1DDig/tplTLBDig are the content digests of the template state
+	// (per L1D set, and the whole TLB), captured alongside it so the
+	// incremental prime's raw template copies re-seed the digest tracking
+	// exactly instead of staling it for a later re-walk.
+	tplL1DDig []uint64
+	tplTLBDig uint64
+
 	// conflictScan caches every conflict line address in the full prime's
 	// (way, set) scan order, so the incremental prime's per-case L2 pass
 	// walks a flat array instead of recomputing 512 conflict addresses.
 	conflictScan []uint64
+
+	// conflictBySet/conflictSetOff regroup conflictScan by L2 set (CSR
+	// layout: set s's lines are conflictBySet[off[s]:off[s+1]], preserving
+	// scan order within the set). The incremental prime walks the L2 dirty
+	// bitmap and looks up each dirty set's lines directly, instead of
+	// testing all sets × ways conflict lines against the bitmap per case.
+	conflictBySet  []uint64
+	conflictSetOff []int32
 
 	// primeReplay is the reused scratch list of conflict lines whose L2
 	// sets were dirtied and therefore need the install+invalidate replay.
@@ -299,6 +314,31 @@ func (h *Hierarchy) heapPop() pendingFill {
 		i = min
 	}
 	return top
+}
+
+// NoFillPending is NextReady's result when no fill is in flight: later
+// than any real completion cycle, so min-folding it with other wakeup
+// bounds needs no special case.
+const NoFillPending = ^uint64(0)
+
+// NextReady returns the completion cycle of the earliest in-flight fill
+// (the heap root), or NoFillPending when the queue is empty. Quiescent
+// cores use it to skip straight to the next cycle where Tick can do work:
+// every Tick strictly before NextReady returns nil by definition, so the
+// jump is bit-identical to ticking through the span cycle by cycle.
+func (h *Hierarchy) NextReady() uint64 {
+	if len(h.pending) == 0 {
+		return NoFillPending
+	}
+	return h.pending[0].at
+}
+
+// AdvanceTo advances the fill queue to cycle now in one step, applying
+// every fill due at or before it, exactly as a Tick at that cycle would.
+// It exists as the named counterpart of NextReady for the quiescent-span
+// skip: AdvanceTo(NextReady()) replaces a run of no-op Ticks.
+func (h *Hierarchy) AdvanceTo(now uint64) []CompletedFill {
+	return h.Tick(now)
 }
 
 // PendingFills returns the number of fills still in flight.
@@ -530,8 +570,19 @@ func (h *Hierarchy) DrainFills() {
 // lines whose L2 sets were mutated (for an untouched L2 set the full pass
 // is a no-op apart from the LRU clock, which is advanced to compensate).
 // The result is bit-identical to the full prime, pinned by tests.
+//
+// The incremental replay is also taken from a bulk-dirty state (the state
+// Reset and Restore leave: every set marked, the TLB touched) once the
+// template exists. With nothing clean, the replay restores every L1D set
+// and replays every conflict line against the L2 — the full pass itself,
+// minus the simulated fill traffic — so no clean-set assumption is left
+// to violate even though the prior state is not a canonical prime state.
+// This is what makes the once-per-program prime after a boot-checkpoint
+// restore incremental rather than a full re-simulation.
 func (h *Hierarchy) PrimeL1D(incremental bool) {
-	if incremental && h.lastPrime == primeKindFill && h.tplValid {
+	if incremental && h.tplValid &&
+		(h.lastPrime == primeKindFill ||
+			(h.L1D.allDirty() && h.L2.allDirty() && h.DTLB.touched)) {
 		h.primeFillIncremental()
 	} else {
 		h.primeFillFull()
@@ -581,6 +632,18 @@ func (h *Hierarchy) primeFillFull() {
 		h.tplL1DTick = h.L1D.useTick
 		h.tplTLB = append(h.tplTLB[:0], h.DTLB.entries...)
 		h.tplTLBTick = h.DTLB.useTick
+		ways := h.Cfg.L1D.Ways
+		h.tplL1DDig = h.tplL1DDig[:0]
+		for s := 0; s < h.Cfg.L1D.Sets; s++ {
+			var d uint64
+			for _, ln := range h.tplL1D[s*ways : (s+1)*ways] {
+				if ln.key != 0 {
+					d += Mix64(ln.key - 1)
+				}
+			}
+			h.tplL1DDig = append(h.tplL1DDig, d)
+		}
+		h.tplTLBDig = h.DTLB.ContentDigest()
 		h.tplValid = true
 	}
 	h.L1D.clearDirtyBits()
@@ -605,7 +668,16 @@ func (h *Hierarchy) primeFillIncremental() {
 			}
 			base := s * ways
 			copy(l1.lines[base:base+ways], h.tplL1D[base:base+ways])
+			l1.setDig[s] = h.tplL1DDig[s]
 		}
+		// The restored sets now carry the exact template digests, so their
+		// staleness flags clear along with the prime-dirty bits. The
+		// snapshot segments have no template to restore from, so they go
+		// stale instead and refresh on the next SnapshotInto.
+		if l1.snapDirty != nil {
+			l1.snapDirty[wi] |= l1.dirty[wi]
+		}
+		l1.digDirty[wi] &^= l1.dirty[wi]
 		l1.dirty[wi] = 0
 	}
 	l1.useTick = h.tplL1DTick
@@ -614,6 +686,8 @@ func (h *Hierarchy) primeFillIncremental() {
 		copy(h.DTLB.entries, h.tplTLB)
 		h.DTLB.useTick = h.tplTLBTick
 		h.DTLB.clearTouched()
+		h.DTLB.dig = h.tplTLBDig
+		h.DTLB.digValid = true
 	}
 	if h.MSHR.Used() {
 		h.MSHR.Reset()
@@ -628,32 +702,64 @@ func (h *Hierarchy) primeFillIncremental() {
 	// For an L2 set untouched since the previous prime that sequence is a
 	// no-op — the way the conflict line vacated is still invalid, so the
 	// install takes it back and the invalidate frees it — except for the
-	// LRU clock, which advances once per install. Replay only the lines in
-	// dirtied L2 sets (where the install can genuinely evict a sandbox
-	// line) and advance the clock for the skipped no-ops.
+	// LRU clock, which advances once per install. The replay therefore
+	// walks the L2 dirty bitmap and handles only dirtied sets (where an
+	// install can genuinely evict a sandbox line), advancing the clock for
+	// everything skipped. A dirty set whose invalid ways absorb all of its
+	// conflict lines is itself a content no-op — the install-then-invalidate
+	// round trip cannot displace a live line — so only its clock advance
+	// remains. Reordering replays by set is immaterial: victim choice is
+	// per-set, and the conflict lines' own LRU stamps die with the trailing
+	// invalidates.
 	cfg := h.Cfg.L1D
+	l2 := h.L2
 	if h.conflictScan == nil {
 		for w := 0; w < cfg.Ways; w++ {
 			for s := 0; s < cfg.Sets; s++ {
 				h.conflictScan = append(h.conflictScan, h.ConflictAddr(s, w))
 			}
 		}
+		counts := make([]int32, l2.cfg.Sets+1)
+		for _, cl := range h.conflictScan {
+			counts[(cl>>l2.lineShift)&l2.setMask+1]++
+		}
+		for s := 0; s < l2.cfg.Sets; s++ {
+			counts[s+1] += counts[s]
+		}
+		h.conflictSetOff = counts
+		h.conflictBySet = make([]uint64, len(h.conflictScan))
+		fill := append([]int32(nil), counts[:l2.cfg.Sets]...)
+		for _, cl := range h.conflictScan {
+			s := (cl >> l2.lineShift) & l2.setMask
+			h.conflictBySet[fill[s]] = cl
+			fill[s]++
+		}
 	}
 	replay := h.primeReplay[:0]
-	for _, cl := range h.conflictScan {
-		if h.L2.dirtyAt(cl) {
-			replay = append(replay, cl)
+	for wi, word := range l2.dirty {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := wi<<6 + b
+			if s >= l2.cfg.Sets {
+				break
+			}
+			cls := h.conflictBySet[h.conflictSetOff[s]:h.conflictSetOff[s+1]]
+			if len(cls) == 0 || l2.setAbsorbsInstalls(s, cls) {
+				continue
+			}
+			replay = append(replay, cls...)
 		}
 	}
 	for _, cl := range replay {
-		h.L2.Install(cl)
+		l2.Install(cl)
 	}
 	for _, cl := range replay {
-		h.L2.Invalidate(cl)
+		l2.Invalidate(cl)
 	}
 	h.primeReplay = replay
-	h.L2.useTick += uint64(cfg.Ways*cfg.Sets - len(replay))
-	h.L2.clearDirtyBits()
+	l2.useTick += uint64(cfg.Ways*cfg.Sets - len(replay))
+	l2.clearDirtyBits()
 }
 
 // PrimeInvalidate resets the L1D, L1I, D-TLB and transient structures to a

@@ -297,3 +297,66 @@ func TestLFBAllocReleaseDrop(t *testing.T) {
 		t.Errorf("FreeCount = %d", l.FreeCount())
 	}
 }
+
+// TestSnapshotIncrementalMatchesReference drives a cache through a long
+// randomized mix of every content-changing operation — installs, eviction
+// without install, targeted and bulk invalidation, dirty-set invalidation,
+// save/restore — snapshotting at random points, and asserts the
+// incrementally maintained canonical snapshot is element-wise identical to
+// SnapshotRef's from-scratch derivation of the same line array. Interleaved
+// snapshots matter: they exercise partially dirty segment bitmaps, which is
+// where incremental maintenance can silently go stale.
+func TestSnapshotIncrementalMatchesReference(t *testing.T) {
+	for _, geom := range []CacheConfig{
+		{Sets: 4, Ways: 2, LineSize: 64},
+		{Sets: 64, Ways: 8, LineSize: 64},
+		{Sets: 16, Ways: 3, LineSize: 32}, // non-power-of-two ways
+	} {
+		rng := rand.New(rand.NewSource(int64(geom.Sets)*31 + int64(geom.Ways)))
+		c := NewCache(geom)
+		span := uint64(4 * geom.SizeBytes()) // ~4x capacity: plenty of conflicts
+		var cp CacheState
+		saved := false
+		var inc, ref []uint64
+		for step := 0; step < 4000; step++ {
+			addr := uint64(rng.Intn(int(span)))
+			switch rng.Intn(16) {
+			case 0:
+				c.EvictVictim(addr)
+			case 1:
+				c.Invalidate(addr)
+			case 2:
+				c.Touch(addr)
+			case 3:
+				c.InvalidateDirty()
+			case 4:
+				if rng.Intn(8) == 0 {
+					c.InvalidateAll()
+				}
+			case 5:
+				if saved && rng.Intn(4) == 0 {
+					c.Restore(&cp)
+				} else {
+					c.SaveInto(&cp)
+					saved = true
+				}
+			default:
+				c.Install(addr)
+			}
+			if rng.Intn(4) == 0 {
+				inc = c.SnapshotInto(inc[:0])
+				ref = c.SnapshotRef(ref[:0])
+				if len(inc) != len(ref) {
+					t.Fatalf("geom %+v step %d: incremental snapshot has %d lines, reference %d",
+						geom, step, len(inc), len(ref))
+				}
+				for i := range inc {
+					if inc[i] != ref[i] {
+						t.Fatalf("geom %+v step %d: snapshots differ at %d: %#x vs %#x",
+							geom, step, i, inc[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}

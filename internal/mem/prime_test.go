@@ -140,15 +140,17 @@ func TestPrimeInvalidateIncrementalBitIdentical(t *testing.T) {
 }
 
 // TestPrimeModeSwitchFallsBackToFull: an incremental prime request after a
-// prime of the other kind (or after a Reset/Restore) must not trust the
-// stale dirty tracking — it runs the full prime and still matches.
+// prime of the other kind must not trust the stale dirty tracking — with no
+// template yet it runs the full prime; after a Restore the bulk-dirty state
+// takes the incremental replay instead — and either way the result matches
+// the reference.
 func TestPrimeModeSwitchFallsBackToFull(t *testing.T) {
 	cfg := DefaultHierConfig()
 	full, incr := NewHierarchy(cfg), NewHierarchy(cfg)
 	full.PrimeInvalidate(false)
 	incr.PrimeInvalidate(true)
 	full.PrimeL1D(false)
-	incr.PrimeL1D(true) // mode switch: must fall back to full
+	incr.PrimeL1D(true) // mode switch, no template yet: must fall back to full
 	hierEqual(t, full, incr)
 
 	st := incr.Save()
@@ -157,8 +159,45 @@ func TestPrimeModeSwitchFallsBackToFull(t *testing.T) {
 	primeWorkload(full, rand.New(rand.NewSource(9)), 50)
 	primeWorkload(incr, rand.New(rand.NewSource(9)), 50)
 	full.PrimeL1D(false)
-	incr.PrimeL1D(true) // post-Restore: dirty tracking was invalidated
+	incr.PrimeL1D(true) // post-Restore: every set dirty, replay path
 	hierEqual(t, full, incr)
+}
+
+// TestPrimeFillIncrementalFromBulkDirty pins the bulk-dirty fast path: the
+// state Reset and Restore leave behind (every set dirty, TLB touched) takes
+// the incremental replay — no simulated fill traffic — and still lands on
+// the exact full-prime state. This is the once-per-program prime after a
+// boot-checkpoint restore, which previously re-simulated sets × ways fills.
+func TestPrimeFillIncrementalFromBulkDirty(t *testing.T) {
+	for ci, cfg := range primeTestConfigs() {
+		full, incr := NewHierarchy(cfg), NewHierarchy(cfg)
+		full.PrimeL1D(false)
+		incr.PrimeL1D(false) // capture templates on both
+		seed := int64(5000 + ci)
+		primeWorkload(full, rand.New(rand.NewSource(seed)), 120)
+		primeWorkload(incr, rand.New(rand.NewSource(seed)), 120)
+
+		// The per-program shape: Reset (what a boot-checkpoint restore into
+		// an empty context leaves), then the next program's first prime.
+		full.Reset()
+		incr.Reset()
+		incr.PrimeL1D(true)
+		if got := incr.nextFillID; got != 0 {
+			t.Fatalf("cfg %d: prime from a bulk-dirty state scheduled %d fills, want the replay path", ci, got)
+		}
+		full.PrimeL1D(false)
+		hierEqual(t, full, incr)
+
+		// The validation shape: Restore into a mid-campaign state.
+		st := full.Save()
+		primeWorkload(full, rand.New(rand.NewSource(seed+1)), 80)
+		primeWorkload(incr, rand.New(rand.NewSource(seed+1)), 80)
+		full.Restore(st)
+		incr.Restore(st)
+		full.PrimeL1D(false)
+		incr.PrimeL1D(true)
+		hierEqual(t, full, incr)
+	}
 }
 
 // TestPrimeTemplateMatchesSimulatedPrime pins the template capture: the

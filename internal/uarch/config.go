@@ -47,6 +47,16 @@ type Config struct {
 	// size. The equivalence and determinism suites use it to exercise the
 	// event structures at the paper's (below-crossover) geometry.
 	EventSchedule bool
+
+	// NoCycleSkip pins the reference cycle-by-cycle loop: the core ticks
+	// through every cycle even when it can prove the pipeline is quiescent.
+	// The default skips such spans wholesale (quiescent.go) — jumping the
+	// cycle counter to the next fill completion, writeback or fetch-stall
+	// expiry when every intervening cycle would be a provable no-op — which
+	// is bit-identical by construction and pinned against this knob by
+	// TestQuiescentSkipBitIdentity; like NaiveSchedule, it exists only for
+	// regression pinning and A/B measurement.
+	NoCycleSkip bool
 }
 
 // DefaultConfig returns the default core configuration (paper-like gem5

@@ -84,6 +84,15 @@ type Core struct {
 	// lower bound on the earliest completion among executing instructions.
 	wbNext uint64
 
+	// lastActCycle is the last cycle in which an instruction changed state
+	// (issued, wrote back or committed). skipQuiescentSpan's naive branch
+	// uses it to pay for the span-proof ROB walk only on cycles that were
+	// themselves fully quiet — on a busy cycle the very activity that just
+	// happened almost always seeds more next cycle, so the walk would fail
+	// anyway. Suppressing the attempt only forgoes a skip; it can never
+	// change behaviour.
+	lastActCycle uint64
+
 	// cov, when non-nil, receives speculation-coverage features as the core
 	// simulates (see coverage.go); lastMemClass threads the previous
 	// data-access outcome into transition-edge features.
@@ -200,6 +209,7 @@ func (c *Core) ResetForInput(in *isa.Input) {
 	c.rob = c.robBuf[:0]
 	c.robOff = 0
 	c.wbNext = 0
+	c.lastActCycle = 0
 	if !c.naive {
 		c.schedInit()
 	}
@@ -309,11 +319,30 @@ func (c *Core) Run() error {
 			// Expose requests — are abandoned. Without the drain, the
 			// *timing* of the last instructions would decide which committed
 			// stores become visible, which is not a leak gem5 exhibits.
+			// Nothing but fills can act here, so the drain jumps straight
+			// to each completion instead of ticking through empty cycles
+			// (intervening cycles only call OnFills with an empty batch —
+			// a no-op by contract).
 			for c.Hier.PendingFills() > 0 && c.cycle < c.cfg.MaxCycles {
-				c.cycle++
-				c.def.OnFills(c.Hier.Tick(c.cycle))
+				next := c.Hier.NextReady()
+				switch {
+				case c.cfg.NoCycleSkip || next <= c.cycle+1:
+					c.cycle++
+				case next <= c.cfg.MaxCycles:
+					c.cycle = next
+				default:
+					// The remaining fills land past the cap; tick out the
+					// budget without walking it.
+					c.cycle = c.cfg.MaxCycles
+					continue
+				}
+				c.def.OnFills(c.Hier.AdvanceTo(c.cycle))
 			}
 			return nil
+		}
+
+		if !c.cfg.NoCycleSkip {
+			c.skipQuiescentSpan()
 		}
 	}
 }
@@ -326,6 +355,7 @@ func (c *Core) Run() error {
 func (c *Core) startExec(in *DynInst, doneAt uint64) {
 	in.State = StExecuting
 	in.DoneAt = doneAt
+	c.lastActCycle = c.cycle
 	if !c.naive {
 		c.schedExec(in, doneAt)
 	} else if doneAt < c.wbNext {
@@ -360,6 +390,7 @@ func (c *Core) writeback() {
 			continue
 		}
 		in.State = StDone
+		c.lastActCycle = c.cycle
 		if in.IsBranch() {
 			if c.resolveBranch(in) {
 				// Squash truncated the ROB; younger entries are gone, and
@@ -467,6 +498,7 @@ func (c *Core) commit() {
 			return
 		}
 		in.State = StCommitted
+		c.lastActCycle = c.cycle
 		if in.WritesReg {
 			c.regs[in.In.Dst] = in.Result
 		}

@@ -1,6 +1,10 @@
 package uarch
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"github.com/sith-lab/amulet-go/internal/mem"
+)
 
 // Coverage is the speculation-coverage signal: a fixed-size feature bitmap
 // collected while a core simulates test cases. Each recorded event —
@@ -52,15 +56,10 @@ const (
 )
 
 // Mix64 is splitmix64's output finalizer (a bijective avalanche). Coverage
-// feature hashing and the fuzzer's work-unit seed derivation share it.
-func Mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
-}
+// feature hashing and the fuzzer's work-unit seed derivation share it. The
+// definition lives in mem (whose content digests fold the same finalizer);
+// this re-export keeps the historical uarch.Mix64 call sites working.
+func Mix64(x uint64) uint64 { return mem.Mix64(x) }
 
 // covMix hashes a (kind, a, b) feature into a bitmap index (splitmix64
 // finalizer over the packed triple).

@@ -78,10 +78,18 @@ type Defense interface {
 	// (the timing channel behind unXpec / KV2).
 	OnSquash(squashed []*DynInst) (extraCycles int)
 	// OnFills runs once per cycle with the fills the hierarchy completed.
+	// An empty batch must be a no-op: the core's quiescent-span skip elides
+	// the call for cycles in which the hierarchy completes nothing.
 	OnFills(fills []mem.CompletedFill)
 	// OnTick runs once per cycle after fills (InvisiSpec drains its expose
 	// queue here).
 	OnTick()
+	// TickIdle reports that OnTick has no pending work, i.e. skipping the
+	// call would leave the defense in an identical state. The quiescent-span
+	// skip (Core.skipQuiescentSpan) only elides cycles whose OnTick is
+	// provably idle; defenses with no per-cycle work return true
+	// unconditionally.
+	TickIdle() bool
 }
 
 // NopDefense is the unprotected baseline: every speculative access hits the
@@ -131,3 +139,6 @@ func (NopDefense) OnFills([]mem.CompletedFill) {}
 
 // OnTick implements Defense.
 func (NopDefense) OnTick() {}
+
+// TickIdle implements Defense: the baseline has no per-cycle work.
+func (NopDefense) TickIdle() bool { return true }
