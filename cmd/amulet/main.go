@@ -58,6 +58,9 @@ func main() {
 		pages      = flag.Int("pages", 0, "override sandbox pages")
 		naive      = flag.Bool("naive", false, "use the Naive strategy (restart per input)")
 		schedule   = flag.String("schedule", "auto", "pipeline scheduler: auto, event, naive (A/B measurement; bit-identical results)")
+		fills      = flag.String("fills", "ring", "fill-queue structure: ring (calendar ring) or heap (reference min-heap; A/B measurement, bit-identical results)")
+		issue      = flag.String("issue", "scoreboard", "naive-scheduler issue walk: scoreboard (unissued list + completion bitmask) or scan (reference full-ROB walk; bit-identical results)")
+		ctmodel    = flag.String("ctmodel", "specialized", "contract emulator: specialized (predecoded interpreter) or reference (hook-driven; bit-identical results)")
 		format     = flag.String("format", "", "µarch trace format: l1d-tlb, l1d-tlb-l1i, bp-state, mem-order, branch-order")
 		stopFirst  = flag.Bool("stop-on-first", false, "stop each instance at its first confirmed violation")
 		report     = flag.Bool("report", false, "analyze and print violation reports (paper-figure style)")
@@ -168,6 +171,27 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -schedule %q (auto, event, naive)", *schedule))
 	}
+	switch *fills {
+	case "", "ring":
+	case "heap":
+		ccfg.Base.Exec.Core.Hier.HeapFills = true
+	default:
+		fatal(fmt.Errorf("unknown -fills %q (ring, heap)", *fills))
+	}
+	switch *issue {
+	case "", "scoreboard":
+	case "scan":
+		ccfg.Base.Exec.Core.NoScoreboard = true
+	default:
+		fatal(fmt.Errorf("unknown -issue %q (scoreboard, scan)", *issue))
+	}
+	switch *ctmodel {
+	case "", "specialized":
+	case "reference":
+		ccfg.Base.ReferenceModel = true
+	default:
+		fatal(fmt.Errorf("unknown -ctmodel %q (specialized, reference)", *ctmodel))
+	}
 	if *format != "" {
 		f, err := parseFormat(*format)
 		if err != nil {
@@ -226,6 +250,13 @@ func printSummary(res *fuzzer.CampaignResult) {
 	fmt.Printf("test cases:        %d (%.0f/s)\n", res.TestCases, res.Throughput())
 	fmt.Printf("violations:        %d\n", len(res.Violations))
 	fmt.Printf("rejected mutants:  %d (validation runs: %d)\n", tot.RejectedMutants, tot.ValidationRuns)
+	if tot.Metrics.Truncations > 0 {
+		// A non-zero count means some contract traces were silently cut off
+		// at the model's step budget — generated programs are DAGs, so this
+		// signals a malformed program source rather than normal operation.
+		fmt.Printf("model truncations: %d (runs cut off at %d steps)\n",
+			tot.Metrics.Truncations, contract.MaxSteps)
+	}
 	cpu := tot.GenTime + tot.ModelTime + tot.Metrics.Startup + tot.Metrics.Prime + tot.Metrics.Simulate + tot.Metrics.TraceExtract + tot.Metrics.Digest
 	if cpu > 0 {
 		fmt.Printf("stage times (cpu): gen %v (%.0f%%) | model %v (%.0f%%) | prime %v (%.0f%%) | exec %v (%.0f%%) | trace %v (%.0f%%) | digest %v (%.0f%%) | startup %v (%.0f%%)\n",

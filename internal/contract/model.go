@@ -92,6 +92,17 @@ type Model struct {
 	sb   isa.Sandbox
 	m    *emu.Machine
 
+	// uops is the predecoded micro-op table the specialized interpreter
+	// (fastmodel.go) executes; reference pins the hook-driven emu.Machine
+	// path instead (fuzzer.Config.ReferenceModel).
+	uops      []uop
+	reference bool
+	truncated int
+
+	// specialized-interpreter scratch, reused across runs
+	frames  []specFrame
+	journal []memUndo
+
 	// per-run state
 	trace   Trace
 	usage   *Usage
@@ -106,7 +117,7 @@ const MaxSteps = 4096
 
 // NewModel builds a leakage model for program p under contract c.
 func NewModel(c Contract, p *isa.Program, sb isa.Sandbox) *Model {
-	md := &Model{C: c, prog: p, sb: sb, usage: NewUsage(sb)}
+	md := &Model{C: c, prog: p, sb: sb, usage: NewUsage(sb), uops: predecode(p)}
 	md.m = emu.New(p, sb, isa.NewInput(sb))
 	md.m.Hooks = emu.Hooks{
 		OnPC:    md.onPC,
@@ -115,6 +126,18 @@ func NewModel(c Contract, p *isa.Program, sb isa.Sandbox) *Model {
 	}
 	return md
 }
+
+// SetReference selects between the specialized predecoded interpreter
+// (fastmodel.go, the default) and the reference hook-driven emulator path.
+// The two are bit-identical; the knob exists only for regression pinning and
+// A/B measurement, like executor.Config.FullPrime.
+func (md *Model) SetReference(on bool) { md.reference = on }
+
+// Truncated returns how many runs since NewModel hit the MaxSteps budget
+// before the program exited. Generated programs are DAGs, so a non-zero
+// count means a malformed or adversarial program silently lost coverage;
+// the fuzzer surfaces the count in its metrics rather than dropping it.
+func (md *Model) Truncated() int { return md.truncated }
 
 // Collect executes the test case (p, in) under the contract and returns the
 // contract trace together with the architectural usage summary. The Usage
@@ -145,7 +168,6 @@ func (md *Model) CollectTrace(in *isa.Input) Trace {
 }
 
 func (md *Model) run(in *isa.Input, track bool) {
-	md.m.LoadInput(in)
 	md.trace = md.trace[:0]
 	md.track = track
 	if track {
@@ -159,7 +181,12 @@ func (md *Model) run(in *isa.Input, track bool) {
 			md.trace = append(md.trace, Obs{Kind: ObsInitReg, V: v})
 		}
 	}
-	md.runArch()
+	if md.reference {
+		md.m.LoadInput(in)
+		md.runArch()
+		return
+	}
+	md.runFast(in)
 }
 
 // runArch executes the architectural path to completion, forking a
@@ -172,6 +199,9 @@ func (md *Model) runArch() {
 		md.trackUsage()
 		md.m.Step()
 		steps++
+	}
+	if !md.m.Done() {
+		md.truncated++
 	}
 }
 

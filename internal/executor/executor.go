@@ -111,6 +111,12 @@ type Metrics struct {
 	Starts       int           // simulator starts
 	BootRuns     int           // boot workloads actually simulated
 	TestCases    int           // inputs executed
+
+	// Truncations counts leakage-model runs cut off by contract.MaxSteps
+	// before the program exited. The generator emits DAG programs, so any
+	// non-zero count means test cases silently lost contract-trace coverage
+	// — worth surfacing, never worth aborting a campaign over.
+	Truncations int
 }
 
 // Add accumulates other into m.
@@ -123,6 +129,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.Starts += other.Starts
 	m.BootRuns += other.BootRuns
 	m.TestCases += other.TestCases
+	m.Truncations += other.Truncations
 }
 
 // Minus returns m - other, for snapshot-diff accounting of a shared
@@ -138,6 +145,7 @@ func (m Metrics) Minus(other Metrics) Metrics {
 		Starts:       m.Starts - other.Starts,
 		BootRuns:     m.BootRuns - other.BootRuns,
 		TestCases:    m.TestCases - other.TestCases,
+		Truncations:  m.Truncations - other.Truncations,
 	}
 }
 
@@ -214,6 +222,13 @@ func (e *Executor) Config() Config { return e.cfg }
 
 // Metrics returns the accumulated time breakdown.
 func (e *Executor) Metrics() Metrics { return e.met }
+
+// CountTruncations folds n leakage-model step-budget truncations into the
+// metrics. The model side (fuzzer.ExecuteCase) reports them here because
+// the executor's metrics are the one channel that survives both campaign
+// drivers: the serial fuzzer snapshots them wholesale and the engine diffs
+// per-unit snapshots, so a count recorded anywhere else would be dropped.
+func (e *Executor) CountTruncations(n int) { e.met.Truncations += n }
 
 // ResetMetrics clears the accumulated metrics.
 func (e *Executor) ResetMetrics() { e.met = Metrics{} }

@@ -84,6 +84,55 @@ func TestViolationSetDeterminism(t *testing.T) {
 		}
 	})
 
+	// Reference-path pins for the PR-7 perf levers. The main sweep below
+	// runs the defaults — scoreboard issue, calendar-ring fills, specialized
+	// contract model — so each lever's reference path gets its own pass
+	// against the same goldens: one per knob (to attribute a failure), one
+	// with all three pinned at once, and one heap-fills run under the event
+	// scheduler (the ring serves both schedulers). A full cross with the
+	// existing 24-combination sweep would add nothing but runtime: the
+	// levers touch disjoint machinery.
+	refCombos := []struct {
+		name  string
+		apply func(*fuzzer.Config)
+	}{
+		{"no-scoreboard", func(c *fuzzer.Config) { c.Exec.Core.NoScoreboard = true }},
+		{"heap-fills", func(c *fuzzer.Config) { c.Exec.Core.Hier.HeapFills = true }},
+		{"reference-model", func(c *fuzzer.Config) { c.ReferenceModel = true }},
+		{"all-reference", func(c *fuzzer.Config) {
+			c.Exec.Core.NoScoreboard = true
+			c.Exec.Core.Hier.HeapFills = true
+			c.ReferenceModel = true
+		}},
+		{"heap-fills-event", func(c *fuzzer.Config) {
+			c.Exec.Core.Hier.HeapFills = true
+			c.Exec.Core.EventSchedule = true
+		}},
+	}
+	for _, g := range golden {
+		for _, combo := range refCombos {
+			spec, err := experiments.DefenseByName(g.defense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+			ccfg := experiments.CampaignConfig(spec, sc)
+			combo.apply(&ccfg.Base)
+			res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != g.violations {
+				t.Errorf("%s %s: %d violations, want %d",
+					g.defense, combo.name, len(res.Violations), g.violations)
+			}
+			if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
+				t.Errorf("%s %s: violation-set fingerprint %#x, want %#x",
+					g.defense, combo.name, fp, g.fingerprint)
+			}
+		}
+	}
+
 	for _, g := range golden {
 		for _, workers := range []int{1, 4} {
 			for _, fullPrime := range []bool{false, true} {

@@ -45,6 +45,17 @@ type Config struct {
 	// complement of the contract's ObserveInitRegs.
 	MutateRegs *bool
 
+	// ReferenceModel pins the leakage model's reference path: contract
+	// traces are collected by driving the generic functional emulator
+	// through its hook interface. By default the model runs its specialized
+	// interpreter instead — the program predecoded once into micro-ops with
+	// pre-resolved ALU kinds and usage masks, observations appended inline
+	// (contract/fastmodel.go). The two are bit-identical (same traces, same
+	// usage, pinned by TestFastModelEquivalence and the determinism sweep);
+	// like Exec.FullPrime, this knob exists only for regression pinning and
+	// A/B measurement.
+	ReferenceModel bool
+
 	// StopOnFirstViolation ends the campaign at the first confirmed
 	// violation (the paper's detection-time experiments).
 	StopOnFirstViolation bool
@@ -277,6 +288,10 @@ type ProgramCase struct {
 	GenTime         time.Duration
 	ModelTime       time.Duration
 	RejectedMutants int
+	// Truncations counts this program's leakage-model runs (base-input
+	// collections and mutant verifications) that hit contract.MaxSteps
+	// before exiting; ExecuteCase folds it into the executor metrics.
+	Truncations int
 
 	// pool, when non-nil, recycles the class traces once ExecuteCase has
 	// compared (and possibly retained) them.
@@ -295,6 +310,7 @@ func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *g
 	pc.SB = gen.Sandbox()
 	pc.GenTime += time.Since(t0)
 	model := contract.NewModel(cfg.Contract, pc.Prog, pc.SB)
+	model.SetReference(cfg.ReferenceModel)
 
 	classes := make(map[uint64]*InputClass)
 	var order []uint64
@@ -333,6 +349,7 @@ func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *g
 	for _, h := range order {
 		pc.Classes = append(pc.Classes, classes[h])
 	}
+	pc.Truncations = model.Truncated()
 	return pc, nil
 }
 
@@ -427,6 +444,7 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 	res.GenTime += pc.GenTime
 	res.ModelTime += pc.ModelTime
 	res.RejectedMutants += pc.RejectedMutants
+	exec.CountTruncations(pc.Truncations)
 	defName := exec.Core().Defense().Name()
 
 	found := false

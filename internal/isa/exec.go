@@ -26,31 +26,31 @@ func EvalALU(op Op, cond Cond, a, b, oldDst uint64, prevFlags Flags) (result uin
 		result = a
 	case OpAdd:
 		result = a + b
-		flags = arithFlags(result, result < a)
+		flags = ArithFlags(result, result < a)
 	case OpSub:
 		result = a - b
-		flags = arithFlags(result, a < b)
+		flags = ArithFlags(result, a < b)
 	case OpAnd:
 		result = a & b
-		flags = logicFlags(result)
+		flags = LogicFlags(result)
 	case OpOr:
 		result = a | b
-		flags = logicFlags(result)
+		flags = LogicFlags(result)
 	case OpXor:
 		result = a ^ b
-		flags = logicFlags(result)
+		flags = LogicFlags(result)
 	case OpShl:
 		result = a << (b & 63)
-		flags = logicFlags(result)
+		flags = LogicFlags(result)
 	case OpShr:
 		result = a >> (b & 63)
-		flags = logicFlags(result)
+		flags = LogicFlags(result)
 	case OpMul:
 		result = a * b
-		flags = logicFlags(result)
+		flags = LogicFlags(result)
 	case OpCmp:
 		r := a - b
-		flags = arithFlags(r, a < b)
+		flags = ArithFlags(r, a < b)
 		writesReg = false
 	case OpCmov:
 		if prevFlags.Eval(cond) {
@@ -65,10 +65,17 @@ func EvalALU(op Op, cond Cond, a, b, oldDst uint64, prevFlags Flags) (result uin
 	return result, flags, writesReg
 }
 
-func arithFlags(result uint64, carry bool) Flags {
+// ArithFlags returns the flags an arithmetic operation (ADD, SUB, CMP) sets:
+// zero and sign from the result, carry as computed by the operation.
+// Exported so interpreters that pre-resolve the ALU operation per instruction
+// (the contract layer's predecoded model) share the exact flag semantics with
+// EvalALU instead of restating them.
+func ArithFlags(result uint64, carry bool) Flags {
 	return Flags{Z: result == 0, S: result>>63 == 1, C: carry}
 }
 
-func logicFlags(result uint64) Flags {
+// LogicFlags returns the flags a logic/shift/multiply operation sets: zero
+// and sign from the result, carry cleared.
+func LogicFlags(result uint64) Flags {
 	return Flags{Z: result == 0, S: result>>63 == 1, C: false}
 }

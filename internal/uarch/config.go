@@ -48,6 +48,21 @@ type Config struct {
 	// event structures at the paper's (below-crossover) geometry.
 	EventSchedule bool
 
+	// NoScoreboard pins the naive schedule's reference issue bookkeeping:
+	// the per-cycle issue walk scans the full ROB and readiness is decided
+	// by DepsDone's per-producer pointer walk. By default the naive
+	// schedule keeps a completion scoreboard — a bitmask over ROB slots set
+	// at writeback — so readiness is two word ANDs against a per-instruction
+	// wait mask computed at dispatch, and an unissued list so the walk
+	// visits only not-yet-issued entries. Bit-identical (same visit order,
+	// same attemptIssue calls, same side effects), pinned by
+	// TestScoreboardBitIdentity and the determinism sweep; like
+	// NaiveSchedule, the knob exists only for regression pinning and A/B
+	// measurement. The scoreboard needs one mask word pair to cover the ROB
+	// backing buffer, so it engages only when ROBSize <= 64 — every larger
+	// window already runs the event scheduler by default.
+	NoScoreboard bool
+
 	// NoCycleSkip pins the reference cycle-by-cycle loop: the core ticks
 	// through every cycle even when it can prove the pipeline is quiescent.
 	// The default skips such spans wholesale (quiescent.go) — jumping the

@@ -84,6 +84,23 @@ type Core struct {
 	// lower bound on the earliest completion among executing instructions.
 	wbNext uint64
 
+	// Scoreboard state (naive schedule, unless cfg.NoScoreboard; see the
+	// Config.NoScoreboard doc). sbDone has the bit of every robBuf slot
+	// whose instruction reached StDone/StCommitted — set at writeback,
+	// cleared when a squash frees slots for reuse, rebuilt on window
+	// compaction. unissued is the seq-ordered list of dispatched entries
+	// the issue walk still has to visit, held as robBuf slot indices
+	// rather than pointers so the per-cycle compaction writes plain ints
+	// (no GC write barriers on the hottest loop in the profile); issued
+	// entries are compacted out lazily, squashes truncate it, and the
+	// compaction rebuild renumbers it along with the masks. A slot index
+	// always denotes the instruction that appended it: slots are only
+	// reused after a squash (which truncated the list first) or a
+	// compaction (which rebuilt it).
+	sbOn     bool
+	sbDone   [2]uint64
+	unissued []int32
+
 	// lastActCycle is the last cycle in which an instruction changed state
 	// (issued, wrote back or committed). skipQuiescentSpan's naive branch
 	// uses it to pay for the span-proof ROB walk only on cycles that were
@@ -112,13 +129,18 @@ func NewCore(cfg Config, def Defense) *Core {
 	if def == nil {
 		def = NopDefense{}
 	}
+	naive := cfg.NaiveSchedule || (!cfg.EventSchedule && cfg.ROBSize < EventScheduleMinROB)
 	c := &Core{
 		cfg:   cfg,
 		def:   def,
 		Hier:  mem.NewHierarchy(cfg.Hier),
 		BP:    NewBPred(cfg.BPred),
 		MD:    NewMDP(),
-		naive: cfg.NaiveSchedule || (!cfg.EventSchedule && cfg.ROBSize < EventScheduleMinROB),
+		naive: naive,
+		// The scoreboard needs one bit per robBuf slot (2*ROBSize) in its
+		// two mask words; larger windows keep the reference walk (and run
+		// the event scheduler by default anyway).
+		sbOn: naive && !cfg.NoScoreboard && 2*cfg.ROBSize <= 128,
 	}
 	def.Attach(c)
 	return c
@@ -210,6 +232,8 @@ func (c *Core) ResetForInput(in *isa.Input) {
 	c.robOff = 0
 	c.wbNext = 0
 	c.lastActCycle = 0
+	c.sbDone = [2]uint64{}
+	c.unissued = c.unissued[:0]
 	if !c.naive {
 		c.schedInit()
 	}
@@ -390,6 +414,7 @@ func (c *Core) writeback() {
 			continue
 		}
 		in.State = StDone
+		c.sbDone[in.RobIdx>>6] |= 1 << (in.RobIdx & 63)
 		c.lastActCycle = c.cycle
 		if in.IsBranch() {
 			if c.resolveBranch(in) {
@@ -443,6 +468,24 @@ func (c *Core) squashYoungerThan(seq uint64, redirectIdx int) {
 	c.rob = c.rob[:cut]
 	if !c.naive {
 		c.schedSquash(seq)
+	}
+	if c.sbOn {
+		// The truncated slots are the next ones robPush reuses: their done
+		// bits must not leak onto the instructions that take them over. The
+		// unissued list is seq-ordered, so the squash is a truncation there
+		// too — done before any slot is reused, while every listed index
+		// still names the instruction that appended it.
+		for _, in := range squashed {
+			c.sbDone[in.RobIdx>>6] &^= 1 << (in.RobIdx & 63)
+		}
+		ucut := len(c.unissued)
+		for i, idx := range c.unissued {
+			if c.robBuf[idx].Seq > seq {
+				ucut = i
+				break
+			}
+		}
+		c.unissued = c.unissued[:ucut]
 	}
 	// Youngest first, matching squash walk order in hardware.
 	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
@@ -608,6 +651,10 @@ func (c *Core) issue() {
 		c.issueEvent()
 		return
 	}
+	if c.sbOn {
+		c.issueScoreboard()
+		return
+	}
 	issued := 0
 	for i := 0; i < len(c.rob) && issued < c.cfg.IssueWidth; i++ {
 		in := c.rob[i]
@@ -618,6 +665,77 @@ func (c *Core) issue() {
 			return // memory-order squash rewrote the ROB
 		}
 	}
+}
+
+// issueScoreboard is the naive issue walk over the unissued list: the same
+// attemptIssue calls in the same (program) order as the reference full-ROB
+// scan — dispatched entries are exactly the list's live entries, in seq
+// order — minus the visits to already-executing, done and committed
+// entries the reference walk steps over. Issued and squashed entries are
+// compacted out with a write cursor, mirroring issueEvent.
+func (c *Core) issueScoreboard() {
+	issued := 0
+	list := c.unissued
+	w := 0
+	for i := 0; i < len(list); i++ {
+		idx := list[i]
+		in := c.robBuf[idx]
+		if in.State != StDispatched {
+			continue // issued since its last visit: drop
+		}
+		if issued >= c.cfg.IssueWidth || c.issueBlockedPure(in) {
+			// Width exhausted, or the attempt would be a side-effect-free
+			// early return (pending producer, fence away from the head):
+			// skip the attemptIssue call the reference walk would burn on
+			// it. issueBlockedPure is exactly the predicate the quiescent
+			// span proof uses for the same question.
+			if w != i {
+				list[w] = idx
+			}
+			w++
+			continue
+		}
+		if c.attemptIssue(in, in.RobIdx == c.robOff, &issued) {
+			// Memory-order squash: squashYoungerThan already truncated
+			// c.unissued to the surviving seq range (the walked prefix is
+			// older than the victim, so it is intact). Stitch the kept
+			// prefix, the store itself, and the not-yet-walked survivors
+			// back together, then stop issuing — the reference walk
+			// returns here too.
+			list = c.unissued // re-read: the squash truncated it
+			if in.State == StDispatched {
+				if w != i {
+					list[w] = idx
+				}
+				w++
+			}
+			if w != i+1 {
+				w += copy(list[w:], list[i+1:])
+			} else {
+				w = len(list)
+			}
+			c.unissued = list[:w]
+			return
+		}
+		if in.State != StDispatched {
+			continue // issued this cycle
+		}
+		if w != i {
+			list[w] = idx
+		}
+		w++
+	}
+	c.unissued = list[:w]
+}
+
+// depsDone reports whether in's register/flags dependencies have all
+// produced their results: the scoreboard mask test when it is on, the
+// reference per-producer walk otherwise.
+func (c *Core) depsDone(in *DynInst) bool {
+	if c.sbOn {
+		return (in.waitMask[0]&^c.sbDone[0])|(in.waitMask[1]&^c.sbDone[1]) == 0
+	}
+	return in.DepsDone()
 }
 
 // attemptIssue tries to advance one dispatched instruction through its next
@@ -641,12 +759,12 @@ func (c *Core) attemptIssue(in *DynInst, head bool, issued *int) (squashed bool)
 		c.startExec(in, c.cycle+1)
 		*issued++
 	case in.IsBranch():
-		if in.DepsDone() {
+		if c.depsDone(in) {
 			c.startExec(in, c.cycle+uint64(c.cfg.LatBranch))
 			*issued++
 		}
 	case in.In.Op.IsALU():
-		if in.DepsDone() {
+		if c.depsDone(in) {
 			c.executeALU(in)
 			*issued++
 		}
@@ -1069,6 +1187,9 @@ func (c *Core) robPush(d *DynInst) {
 		for i, in := range c.rob {
 			in.RobIdx = i
 		}
+		if c.sbOn {
+			c.sbRebuild()
+		}
 	}
 	d.RobIdx = c.robOff + len(c.rob)
 	c.rob = append(c.rob, d)
@@ -1148,6 +1269,49 @@ func (c *Core) dispatch(idx int) {
 	if !c.naive {
 		c.schedDispatch(d)
 	}
+	if c.sbOn {
+		// After robPush: a window compaction in there renumbers the
+		// producers' slots the mask refers to.
+		c.sbComputeWait(d)
+		c.unissued = append(c.unissued, int32(d.RobIdx))
+	}
 	c.stats.Fetched++
 	c.fetchIdx = next
+}
+
+// sbComputeWait fills d's scoreboard wait mask with the robBuf slots of
+// its still-pending register/flags producers. Producers already done or
+// committed stay done for as long as d is live, so they need no bit.
+func (c *Core) sbComputeWait(d *DynInst) {
+	d.waitMask = [2]uint64{}
+	for _, p := range d.Deps {
+		if p != nil && p.State != StDone && p.State != StCommitted {
+			d.waitMask[p.RobIdx>>6] |= 1 << (p.RobIdx & 63)
+		}
+	}
+	if p := d.FlagsDep; p != nil && p.State != StDone && p.State != StCommitted {
+		d.waitMask[p.RobIdx>>6] |= 1 << (p.RobIdx & 63)
+	}
+}
+
+// sbRebuild recomputes the scoreboard after a window compaction renumbered
+// every live RobIdx: completion bits from the live entries' states, wait
+// masks from the dispatched entries' producer pointers, and the unissued
+// list from the dispatched entries in ROB order — which is exactly the
+// list's live content in its existing order, since both are seq-ordered
+// and the list holds every dispatched entry. Slots of committed entries
+// that left the ROB are irrelevant — any mask bit that referred to one was
+// recomputed away, because its producer is committed.
+func (c *Core) sbRebuild() {
+	c.sbDone = [2]uint64{}
+	c.unissued = c.unissued[:0]
+	for _, in := range c.rob {
+		switch in.State {
+		case StDone, StCommitted:
+			c.sbDone[in.RobIdx>>6] |= 1 << (in.RobIdx & 63)
+		case StDispatched:
+			c.sbComputeWait(in)
+			c.unissued = append(c.unissued, int32(in.RobIdx))
+		}
+	}
 }

@@ -144,7 +144,7 @@ func (c *Core) issueBlockedPure(in *DynInst) bool {
 	case in.In.Op == isa.OpFence:
 		return in != c.rob[0] // serialized: issues only at the head
 	case in.IsBranch(), in.In.Op.IsALU():
-		return !in.DepsDone()
+		return !c.depsDone(in) // the scoreboard mask when it is on
 	case in.IsLoad():
 		p := in.Deps[0]
 		return p != nil && p.State != StDone && p.State != StCommitted
