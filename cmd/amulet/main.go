@@ -21,6 +21,13 @@
 // SIGTERM, -timeout or a failing work unit never discard a campaign: the
 // partial results collected so far are always reported (experiments, whose
 // tables need the full campaign, abort instead).
+//
+// With -checkpoint <dir> the campaign is crash-safe: progress is persisted
+// atomically at epoch boundaries and on interruption, worker panics are
+// quarantined into repro bundles under <dir>/quarantine/ instead of killing
+// the run, and -resume continues an interrupted campaign to the exact
+// results an uninterrupted one produces. Partial runs exit with status 3
+// and print a one-line resume hint.
 package main
 
 import (
@@ -30,12 +37,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"syscall"
 
 	"github.com/sith-lab/amulet-go/internal/analysis"
+	"github.com/sith-lab/amulet-go/internal/checkpoint"
 	"github.com/sith-lab/amulet-go/internal/contract"
 	"github.com/sith-lab/amulet-go/internal/engine"
 	"github.com/sith-lab/amulet-go/internal/executor"
@@ -43,6 +52,12 @@ import (
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/uarch"
 )
+
+// exitPartial is the exit status of a run that finished with partial
+// results — interrupted (SIGINT/SIGTERM/-timeout) or carrying degraded
+// (quarantined / timed-out) units — as opposed to 1 for real failures.
+// Scripts distinguish "rerun with -resume" from "something broke".
+const exitPartial = 3
 
 func main() {
 	var (
@@ -72,6 +87,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the campaign/experiment after this duration, reporting partial results (0 = no limit)")
 		strategy   = flag.String("strategy", engine.StrategyRandom, "generation strategy: random (blind, the paper's setup) or corpus (coverage-guided epochs)")
 		epochs     = flag.Int("epochs", 0, "corpus-strategy epochs (0 = default); each epoch mutates the corpus frozen by the previous one")
+		ckptDir    = flag.String("checkpoint", "", "checkpoint directory: persist campaign progress there (atomically) and quarantine failing units' repro bundles")
+		resume     = flag.Bool("resume", false, "resume the campaign from -checkpoint; a resumed campaign finishes with results bit-identical to an uninterrupted run")
+		unitTO     = flag.Duration("unit-timeout", 0, "per-unit watchdog deadline: a wedged work unit is abandoned and counted instead of hanging the campaign (0 = off)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -117,12 +135,21 @@ func main() {
 		return
 	}
 
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint <dir>"))
+	}
+
 	if *experiment != "" {
 		// Experiments pin their strategies (the table reproductions pin
 		// random, the strategy head-to-head runs both); silently ignoring
 		// these flags would misreport what was measured.
 		if *strategy != engine.StrategyRandom || *epochs != 0 {
 			fatal(fmt.Errorf("-strategy/-epochs do not apply to -experiment runs (experiments pin their strategies)"))
+		}
+		// Experiments need whole campaigns for their tables; a partially
+		// restored table would misreport the paper's numbers.
+		if *ckptDir != "" || *resume {
+			fatal(fmt.Errorf("-checkpoint/-resume do not apply to -experiment runs"))
 		}
 		if err := runExperiment(ctx, *experiment, *scaleName, *workers); err != nil {
 			fatal(err)
@@ -206,7 +233,9 @@ func main() {
 		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput), *strategy)
 	res, err := engine.RunCampaign(ctx, engine.Config{
 		Campaign: ccfg, Workers: *workers, Strategy: *strategy, Epochs: *epochs,
+		CheckpointDir: *ckptDir, Resume: *resume, UnitTimeout: *unitTO,
 	})
+	partial := false
 	if err != nil {
 		if res == nil {
 			fatal(err)
@@ -215,9 +244,21 @@ func main() {
 		fmt.Printf("campaign incomplete (%v); partial results:\n", err)
 		if hasNonContextError(err) {
 			exitCode = 1 // real failure: partial output, failing exit code
+		} else {
+			partial = true // interrupted, not broken: distinct resumable status
 		}
 	}
 	printSummary(res)
+	if tot := res.Totals(); tot.Metrics.Quarantined > 0 || tot.Metrics.TimedOut > 0 {
+		partial = true // degraded units: the violation set may be incomplete
+	}
+	if partial && exitCode == 0 {
+		exitCode = exitPartial
+		if *ckptDir != "" {
+			fmt.Printf("resumable: rerun with -resume to continue from %s\n",
+				filepath.Join(*ckptDir, checkpoint.FileName))
+		}
+	}
 
 	if *report && len(res.Violations) > 0 {
 		exec := executor.New(ccfg.Base.Exec, spec.Factory())
@@ -268,12 +309,22 @@ func printSummary(res *fuzzer.CampaignResult) {
 			tot.Metrics.Digest.Round(1e6), 100*float64(tot.Metrics.Digest)/float64(cpu),
 			tot.Metrics.Startup.Round(1e6), 100*float64(tot.Metrics.Startup)/float64(cpu))
 	}
+	if tot.Metrics.Quarantined > 0 || tot.Metrics.TimedOut > 0 {
+		// Degraded units were isolated, not fixed: their programs went
+		// untested, so the reported violation set is a lower bound.
+		fmt.Printf("degraded units:    %d quarantined (panic), %d timed out — repro bundles under the checkpoint dir\n",
+			tot.Metrics.Quarantined, tot.Metrics.TimedOut)
+	}
 	if tot.Coverage != nil {
 		fmt.Printf("coverage features: %d of %d\n", tot.Coverage.Count(), uarch.CoverageBits)
 	}
 	if d, ok := res.AvgDetectionTime(); ok {
 		fmt.Printf("avg detection:     %v\n", d.Round(1e6))
 	}
+	// The fingerprint digests the full violation set bit for bit; CI's
+	// crash/resume smoke diffs this line between an interrupted-and-resumed
+	// campaign and an uninterrupted one at the same seed.
+	fmt.Printf("violation fingerprint: %#016x\n", fuzzer.ViolationFingerprint(res.Violations))
 	if len(res.Violations) > 0 {
 		fmt.Printf("contract violated: YES — the defense leaks more than its contract allows\n")
 	} else {

@@ -54,6 +54,12 @@ func Analyze(exec *executor.Executor, v *fuzzer.Violation) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if v.TraceA == nil || v.TraceB == nil {
+		// Violations restored from a checkpoint carry no µarch traces (the
+		// checkpoint drops them; they are large and replay-derivable). The
+		// replay above just regenerated them, so backfill for Report.String.
+		v.TraceA, v.TraceB = trA, trB
+	}
 	r := &Report{Violation: v, LogA: logA, LogB: logB}
 	r.Signature, r.Detail = classify(v, trA, trB, logA, logB)
 	return r, nil

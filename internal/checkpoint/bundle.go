@@ -1,0 +1,81 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BundleDir is the quarantine subdirectory of a checkpoint directory.
+const BundleDir = "quarantine"
+
+// Bundle kinds.
+const (
+	BundlePanic   = "panic"   // the unit's worker panicked
+	BundleTimeout = "timeout" // the watchdog degraded a wedged unit
+)
+
+// Bundle is a quarantined work unit's repro bundle: everything needed to
+// re-run exactly the unit that failed, standalone, plus what it died of.
+// Units are seed-deterministic, so (campaign seed, instance, program) —
+// with the campaign config identified by ConfigFP — replays the identical
+// generate→collect→execute pipeline; engine.ReplayUnit consumes bundles.
+type Bundle struct {
+	// ConfigFP is the owning campaign's config fingerprint; replay refuses
+	// a bundle against a different configuration.
+	ConfigFP uint64
+	Defense  string
+	Contract string
+
+	// Seed is the unit's derived RNG seed (fuzzer.UnitSeed of the campaign
+	// seed at these coordinates); Inst/Prog are the unit coordinates.
+	Seed       int64
+	Inst, Prog int
+
+	// Kind is BundlePanic or BundleTimeout; Value renders the recovered
+	// panic value (empty for timeouts); Stack is the worker goroutine's
+	// stack at recovery (empty for timeouts — the wedged goroutine is
+	// abandoned, not inspected).
+	Kind  string
+	Value string
+	Stack string
+}
+
+// BundlePath returns where a unit's bundle of the given kind lives under
+// the checkpoint directory.
+func BundlePath(dir string, inst, prog int, kind string) string {
+	return filepath.Join(dir, BundleDir, fmt.Sprintf("unit-%d-%d-%s.json", inst, prog, kind))
+}
+
+// SaveBundle writes b under dir's quarantine subdirectory and returns the
+// path. Bundles are small and advisory (the campaign already moved on), so
+// the write is plain — no temp/rename dance.
+func SaveBundle(dir string, b *Bundle) (string, error) {
+	qdir := filepath.Join(dir, BundleDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: quarantine: %w", err)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: quarantine: %w", err)
+	}
+	path := BundlePath(dir, b.Inst, b.Prog, b.Kind)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("checkpoint: quarantine: %w", err)
+	}
+	return path, nil
+}
+
+// LoadBundle reads a repro bundle.
+func LoadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: quarantine: %w", err)
+	}
+	b := &Bundle{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("checkpoint: quarantine: %s: %w", path, err)
+	}
+	return b, nil
+}

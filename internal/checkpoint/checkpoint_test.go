@@ -1,0 +1,238 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/faultinject"
+	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/uarch"
+)
+
+// testState builds a state with every field populated: a violating unit
+// result (program, inputs, contract trace), coverage words, corpus entries.
+func testState(t *testing.T) *State {
+	t.Helper()
+	gcfg := generator.DefaultConfig()
+	gcfg.Seed = 42
+	g := generator.New(gcfg)
+	prog := g.Program()
+	inA, inB := g.Input(), g.Input()
+
+	cov := uarch.NewCoverage()
+	words := make([]uint64, len(cov.Words()))
+	words[0], words[3] = 0x5, 1<<63|2
+	cov.LoadWords(words)
+
+	res := &fuzzer.Result{
+		TestCases:      30,
+		Programs:       1,
+		Elapsed:        3 * time.Millisecond,
+		ValidationRuns: 2,
+		GenTime:        time.Millisecond,
+		Coverage:       cov,
+		Violations: []*fuzzer.Violation{{
+			Defense:      "baseline",
+			Contract:     "CT-SEQ",
+			Program:      prog,
+			Sandbox:      g.Sandbox(),
+			InputA:       inA,
+			InputB:       inB,
+			CTrace:       contract.Trace{{V: 0x40}, {V: 0x48}},
+			ProgramIndex: 7,
+			DetectedAt:   2 * time.Millisecond,
+		}},
+	}
+	res.Metrics.TestCases = 30
+
+	return &State{
+		ConfigFP:   0xdeadbeefcafe,
+		Seed:       1,
+		Instances:  2,
+		Programs:   10,
+		Epochs:     2,
+		Strategy:   "corpus",
+		EpochsDone: 1,
+		Units: []UnitRec{
+			{Inst: 0, Prog: 7, RNGDraws: 912, Result: EncodeResult(res)},
+			{Inst: 1, Prog: 5, RNGDraws: 333, Result: EncodeResult(&fuzzer.Result{TestCases: 30}), GenProg: g.Program()},
+		},
+		Corpus:   []CorpusRec{{Prog: prog, NewBits: 4, Violating: true}},
+		Coverage: words,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := testState(t)
+	if err := Save(dir, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", got, st)
+	}
+
+	// The violation must decode back to the live form, traces nil.
+	v := got.Units[0].Result.Decode().Violations[0]
+	want := st.Units[0].Result.Violations[0]
+	if v.TraceA != nil || v.TraceB != nil {
+		t.Error("decoded violation carries µarch traces; checkpoints must drop them")
+	}
+	if v.Defense != want.Defense || v.ProgramIndex != want.ProgramIndex ||
+		!reflect.DeepEqual(v.InputA, want.InputA) || !reflect.DeepEqual(v.CTrace, want.CTrace) {
+		t.Errorf("decoded violation differs from encoded:\ngot  %+v\nwant %+v", v, want)
+	}
+
+	// Coverage survives the words round-trip bit for bit.
+	res := got.Units[0].Result.Decode()
+	if !reflect.DeepEqual(res.Coverage.Words(), st.Coverage) {
+		t.Error("coverage words changed across the round-trip")
+	}
+}
+
+func TestLoadMissingIsNotExist(t *testing.T) {
+	_, err := Load(t.TempDir())
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing checkpoint: err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestSaveCrashMatrix kills the atomic write between every pair of steps
+// and proves the invariant: whatever step the process dies at, the
+// directory holds a complete, loadable checkpoint — the old one for
+// crashes before the rename, the new one after.
+func TestSaveCrashMatrix(t *testing.T) {
+	old := testState(t)
+	fresh := testState(t)
+	fresh.EpochsDone = 2
+	fresh.ConfigFP = old.ConfigFP
+
+	steps := []struct {
+		step    int
+		wantNew bool
+	}{
+		{StepTempWrite, false},
+		{StepTempSync, false},
+		{StepRename, false},
+		{StepDirSync, true}, // rename already durable in-process
+	}
+	for _, tc := range steps {
+		dir := t.TempDir()
+		if err := Save(dir, old, nil); err != nil {
+			t.Fatal(err)
+		}
+		inj := faultinject.New()
+		inj.Arm(faultinject.KindCrashAtStep, tc.step, 0)
+		if err := Save(dir, fresh, inj); !errors.Is(err, faultinject.ErrInjectedCrash) {
+			t.Fatalf("step %d: Save err = %v, want ErrInjectedCrash", tc.step, err)
+		}
+		got, err := Load(dir)
+		if err != nil {
+			t.Fatalf("step %d: checkpoint unloadable after crash: %v", tc.step, err)
+		}
+		want := old
+		if tc.wantNew {
+			want = fresh
+		}
+		if got.EpochsDone != want.EpochsDone {
+			t.Errorf("step %d: loaded EpochsDone=%d, want %d (crash left a torn state?)",
+				tc.step, got.EpochsDone, want.EpochsDone)
+		}
+	}
+}
+
+// TestSaveCrashWithNoPriorCheckpoint: dying before the rename of the very
+// first checkpoint must leave "no checkpoint" (the fresh-start path), not
+// a partial file.
+func TestSaveCrashWithNoPriorCheckpoint(t *testing.T) {
+	for _, step := range []int{StepTempWrite, StepTempSync, StepRename} {
+		dir := t.TempDir()
+		inj := faultinject.New()
+		inj.Arm(faultinject.KindCrashAtStep, step, 0)
+		if err := Save(dir, testState(t), inj); !errors.Is(err, faultinject.ErrInjectedCrash) {
+			t.Fatalf("step %d: Save err = %v", step, err)
+		}
+		if _, err := Load(dir); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("step %d: Load err = %v, want os.ErrNotExist", step, err)
+		}
+	}
+}
+
+// TestLoadRejectsCorruption flips single payload bits (the faultinject
+// path, corrupting after the digest) and truncates the file; every case
+// must surface ErrCorrupt, never a half-applied state.
+func TestLoadRejectsCorruption(t *testing.T) {
+	for _, offset := range []int{0, 10, 100} {
+		dir := t.TempDir()
+		inj := faultinject.New()
+		inj.Arm(faultinject.KindFlipByte, offset, 3)
+		if err := Save(dir, testState(t), inj); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("bit flip at byte %d: Load err = %v, want ErrCorrupt", offset, err)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := Save(dir, testState(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated file: Load err = %v, want ErrCorrupt", err)
+	}
+
+	if err := os.WriteFile(path, []byte("not a checkpoint\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage header: Load err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := &Bundle{
+		ConfigFP: 0xfeed,
+		Defense:  "stt",
+		Contract: "CT-COND",
+		Seed:     99,
+		Inst:     1,
+		Prog:     17,
+		Kind:     BundlePanic,
+		Value:    "faultinject: injected panic in unit (1,17)",
+		Stack:    "goroutine 1 [running]:\n...",
+	}
+	path, err := SaveBundle(dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := BundlePath(dir, 1, 17, BundlePanic); path != want {
+		t.Errorf("bundle path %q, want %q", path, want)
+	}
+	got, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("bundle round-trip mismatch:\ngot  %+v\nwant %+v", got, b)
+	}
+}

@@ -50,13 +50,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/sith-lab/amulet-go/internal/checkpoint"
 	"github.com/sith-lab/amulet-go/internal/contract"
 	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/faultinject"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/generator"
 	"github.com/sith-lab/amulet-go/internal/isa"
@@ -96,6 +99,32 @@ type Config struct {
 	// epochs (zero = DefaultEpochs). Random campaigns are a single epoch;
 	// setting Epochs > 1 with StrategyRandom is a configuration error.
 	Epochs int
+
+	// CheckpointDir enables crash-safe campaigns: progress is persisted
+	// there (atomically — see internal/checkpoint) at epoch boundaries and
+	// when a cancelled campaign finishes draining its workers, and
+	// quarantined units' repro bundles land in its quarantine/ subdirectory.
+	// Empty disables durability; checkpoint I/O never sits on the per-unit
+	// hot path either way.
+	CheckpointDir string
+	// Resume restores progress from CheckpointDir before running: done
+	// units keep their checkpointed results and only unfinished work runs,
+	// landing on the same final results as an uninterrupted campaign (the
+	// determinism contract plus unit-granular progress make the two
+	// indistinguishable). A missing checkpoint is a fresh start; a corrupt
+	// one, or one written under a different configuration, is an error.
+	// Requires CheckpointDir.
+	Resume bool
+	// UnitTimeout arms a per-unit watchdog: a unit that exceeds the
+	// deadline is abandoned (its goroutine and executor with it), counted
+	// in Metrics.TimedOut, and bundled for replay like a quarantined panic;
+	// the campaign keeps going. Zero — the default — disables the watchdog,
+	// and units run inline on their worker with no extra goroutine.
+	UnitTimeout time.Duration
+	// Inject is the deterministic fault-injection harness hook. Nil in
+	// production (every hook on a nil injector is an inert nil check); the
+	// crash/resume, quarantine, and corruption tests arm it.
+	Inject *faultinject.Injector
 }
 
 // unit is one program-level work unit.
@@ -159,6 +188,24 @@ type campaign struct {
 	// (instance, program) order.
 	cover   *uarch.Coverage
 	entries []generator.CorpusEntry
+
+	// Durability state. done[i][p] marks unit (i,p) finished for checkpoint
+	// purposes — completed, or degraded to a counted quarantine/timeout —
+	// so restored units are skipped and only done units are persisted;
+	// draws[i][p] is the unit's final PRNG draw count (a determinism
+	// diagnostic the checkpoint records). Each cell is written by at most
+	// one worker (deque pops are exclusive) or by restore before workers
+	// start.
+	done  [][]bool
+	draws [][]uint64
+
+	ckptDir      string
+	inject       *faultinject.Injector
+	unitTimeout  time.Duration
+	strategyName string
+	defenseName  string
+	epochs       int
+	configFP     uint64
 }
 
 // RunCampaign executes the campaign on the engine. A context error stops
@@ -168,6 +215,9 @@ type campaign struct {
 func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error) {
 	if cfg.Campaign.Instances < 1 {
 		return nil, fmt.Errorf("engine: campaign needs at least one instance")
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("engine: Resume requires CheckpointDir")
 	}
 	base := cfg.Campaign.Base
 	if err := base.Validate(); err != nil {
@@ -188,20 +238,20 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 	}
 
 	c := &campaign{
-		base:      base,
-		instances: cfg.Campaign.Instances,
-		programs:  base.Programs,
-		start:     time.Now(),
+		base:        base,
+		instances:   cfg.Campaign.Instances,
+		programs:    base.Programs,
+		start:       time.Now(),
+		ckptDir:     cfg.CheckpointDir,
+		inject:      cfg.Inject,
+		unitTimeout: cfg.UnitTimeout,
 	}
-	epochs := 1
+	c.strategyName = cfg.Strategy
+	if c.strategyName == "" {
+		c.strategyName = StrategyRandom
+	}
+	c.epochs = resolveEpochs(cfg, c.programs)
 	if corpus {
-		epochs = cfg.Epochs
-		if epochs < 1 {
-			epochs = DefaultEpochs
-		}
-		if epochs > c.programs {
-			epochs = c.programs
-		}
 		c.cover = uarch.NewCoverage()
 		c.progs = make([][]*isa.Program, c.instances)
 		for i := range c.progs {
@@ -220,25 +270,68 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 	for i := range c.stopAt {
 		c.stopAt[i].Store(math.MaxInt64)
 	}
-	c.pool = executor.NewPool(base.Exec, base.DefenseFactory, c.workers)
+	pool, err := executor.NewPool(base.Exec, base.DefenseFactory, c.workers)
+	if err != nil {
+		return nil, err
+	}
+	c.pool = pool
 	c.results = make([][]*fuzzer.Result, c.instances)
+	c.done = make([][]bool, c.instances)
+	c.draws = make([][]uint64, c.instances)
 	for i := range c.results {
 		c.results[i] = make([]*fuzzer.Result, c.programs)
+		c.done[i] = make([]bool, c.programs)
+		c.draws[i] = make([]uint64, c.programs)
+	}
+
+	if c.ckptDir != "" {
+		c.defenseName = base.DefenseFactory().Name()
+		c.configFP = campaignFingerprint(base, c.defenseName, c.instances, c.epochs, c.strategyName)
+	}
+	startEpoch := 0
+	if cfg.Resume {
+		st, err := checkpoint.Load(c.ckptDir)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet; resume of a campaign that never started is
+			// a fresh start.
+		case err != nil:
+			return nil, err
+		default:
+			if err := c.restore(st); err != nil {
+				return nil, err
+			}
+			startEpoch = st.EpochsDone
+		}
 	}
 
 	var errs []error
-	for e := 0; e < epochs; e++ {
+	epochsDone := startEpoch
+	for e := startEpoch; e < c.epochs; e++ {
 		var strat generator.Strategy = generator.Random{}
 		if corpus {
 			strat = generator.NewCorpusStrategy(c.entries)
 		}
-		lo, hi := epochBounds(c.programs, epochs, e)
+		lo, hi := epochBounds(c.programs, c.epochs, e)
 		errs = append(errs, c.runEpoch(ctx, strat, lo, hi)...)
+		if ctx.Err() != nil {
+			// The epoch was interrupted: don't admit its (partial) results —
+			// resume re-runs the missing units and admits the epoch whole.
+			break
+		}
 		if corpus {
 			c.admit(lo, hi)
 		}
-		if ctx.Err() != nil {
-			break
+		epochsDone = e + 1
+		if err := c.saveCheckpoint(epochsDone); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if ctx.Err() != nil {
+		// Cancelled: the workers have drained; persist what they finished so
+		// the campaign resumes where it died.
+		if err := c.saveCheckpoint(epochsDone); err != nil {
+			errs = append(errs, err)
 		}
 	}
 
@@ -249,6 +342,23 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 	out.Elapsed = time.Since(c.start)
 	out.Aggregate()
 	return out, errors.Join(append(errs, ctx.Err())...)
+}
+
+// resolveEpochs resolves Config.Epochs exactly as RunCampaign does:
+// random campaigns are one epoch, corpus campaigns default to
+// DefaultEpochs and never exceed the program count.
+func resolveEpochs(cfg Config, programs int) int {
+	if cfg.Strategy != StrategyCorpus {
+		return 1
+	}
+	epochs := cfg.Epochs
+	if epochs < 1 {
+		epochs = DefaultEpochs
+	}
+	if epochs > programs {
+		epochs = programs
+	}
+	return epochs
 }
 
 // epochBounds returns the program-index range [lo, hi) of epoch e when
@@ -358,13 +468,15 @@ func (c *campaign) firstViolatingIndex(i, hi int) int {
 }
 
 // runWorker drains its own deque and then steals until no work is left.
-// It owns one pooled executor for its whole lifetime.
+// It owns one pooled executor for its whole lifetime — unless a unit
+// poisons it (panic or watchdog abandonment), in which case the executor is
+// discarded and a fresh one acquired, and the campaign keeps going.
 func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strategy, deques []*deque) error {
 	exec, err := c.pool.Acquire(ctx)
 	if err != nil {
 		return err
 	}
-	defer c.pool.Release(exec)
+	defer func() { c.pool.Release(exec) }()
 	tp := &contract.TracePool{} // worker-lifetime contract-trace recycling
 	var errs []error
 	for {
@@ -378,22 +490,39 @@ func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strateg
 		if !ok {
 			break
 		}
+		if c.done[u.inst][u.prog] {
+			continue // restored from a checkpoint; the result is already final
+		}
 		if int64(u.prog) > c.stopAt[u.inst].Load() {
 			continue
 		}
-		res, prog, err := c.runUnit(ctx, exec, strat, u, tp)
-		c.results[u.inst][u.prog] = res
-		if c.progs != nil {
-			c.progs[u.inst][u.prog] = prog
+		out := c.runUnitIsolated(ctx, exec, strat, u, tp)
+		if out.poison {
+			// The executor went down with the unit (and, for an abandoned
+			// wedged unit, the goroutine still holds the trace pool too);
+			// replace both before touching any more work.
+			c.pool.Discard(exec)
+			tp = &contract.TracePool{}
+			var aerr error
+			if exec, aerr = c.pool.Acquire(ctx); aerr != nil {
+				c.record(u, out)
+				errs = append(errs, aerr)
+				break
+			}
 		}
-		if err != nil {
-			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		c.record(u, out)
+		if out.err != nil {
+			var qe *QuarantineError
+			if errors.As(out.err, &qe) {
+				continue // isolated, bundled, and counted — not a campaign error
+			}
+			if errors.Is(out.err, ctx.Err()) && ctx.Err() != nil {
 				break // reported once by RunCampaign
 			}
-			errs = append(errs, fmt.Errorf("engine: instance %d program %d: %w", u.inst, u.prog, err))
+			errs = append(errs, fmt.Errorf("engine: instance %d program %d: %w", u.inst, u.prog, out.err))
 			continue
 		}
-		if c.base.StopOnFirstViolation && len(res.Violations) > 0 {
+		if c.base.StopOnFirstViolation && len(out.res.Violations) > 0 {
 			for {
 				cur := c.stopAt[u.inst].Load()
 				if int64(u.prog) >= cur || c.stopAt[u.inst].CompareAndSwap(cur, int64(u.prog)) {
@@ -405,15 +534,31 @@ func (c *campaign) runWorker(ctx context.Context, w int, strat generator.Strateg
 	return errors.Join(errs...)
 }
 
+// record stores one unit's outcome. Only done units (completed or degraded
+// to a counted quarantine/timeout) are marked for the checkpoint; a
+// context-interrupted unit keeps its partial result for this run's report
+// but re-runs in full on resume.
+func (c *campaign) record(u unit, out unitOutcome) {
+	c.results[u.inst][u.prog] = out.res
+	if c.progs != nil {
+		c.progs[u.inst][u.prog] = out.prog
+	}
+	if out.done {
+		c.draws[u.inst][u.prog] = out.draws
+		c.done[u.inst][u.prog] = true
+	}
+}
+
 // runUnit runs the full stage pipeline of one work unit on the worker's
-// executor, returning the unit-local result and the generated program
-// (metrics attributed by snapshot diff, since the executor is shared across
-// this worker's units).
-func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit, tp *contract.TracePool) (*fuzzer.Result, *isa.Program, error) {
+// executor, returning the unit-local result, the generated program, and the
+// unit's final PRNG draw count (metrics attributed by snapshot diff, since
+// the executor is shared across this worker's units).
+func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit, tp *contract.TracePool) (*fuzzer.Result, *isa.Program, uint64, error) {
 	t0 := time.Now()
 	before := exec.Metrics()
 	res := &fuzzer.Result{}
 	var prog *isa.Program
+	var draws uint64
 	ug, err := fuzzer.NewUnitGenStrategy(c.base, u.seed, strat)
 	if err == nil {
 		ug.SetTracePool(tp)
@@ -422,10 +567,11 @@ func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat g
 			prog = pc.Prog
 			_, err = fuzzer.ExecuteCase(ctx, exec, c.base, pc, res, c.start)
 		}
+		draws = ug.Draws()
 	}
 	res.Elapsed = time.Since(t0)
 	res.Metrics = exec.Metrics().Minus(before)
-	return res, prog, err
+	return res, prog, draws, err
 }
 
 // mergeInstance folds one instance's unit results in program-index order.

@@ -117,6 +117,15 @@ type Metrics struct {
 	// non-zero count means test cases silently lost contract-trace coverage
 	// — worth surfacing, never worth aborting a campaign over.
 	Truncations int
+
+	// Quarantined counts work units whose worker panicked and was isolated
+	// by the engine (the unit's repro bundle lands in the checkpoint
+	// directory; the campaign keeps going on a fresh executor). TimedOut
+	// counts units the -unit-timeout watchdog degraded the same way. Both
+	// mean the campaign's results are partial: the counts flow to the CLI
+	// summary and its resumable exit path.
+	Quarantined int
+	TimedOut    int
 }
 
 // Add accumulates other into m.
@@ -130,6 +139,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.BootRuns += other.BootRuns
 	m.TestCases += other.TestCases
 	m.Truncations += other.Truncations
+	m.Quarantined += other.Quarantined
+	m.TimedOut += other.TimedOut
 }
 
 // Minus returns m - other, for snapshot-diff accounting of a shared
@@ -146,6 +157,8 @@ func (m Metrics) Minus(other Metrics) Metrics {
 		BootRuns:     m.BootRuns - other.BootRuns,
 		TestCases:    m.TestCases - other.TestCases,
 		Truncations:  m.Truncations - other.Truncations,
+		Quarantined:  m.Quarantined - other.Quarantined,
+		TimedOut:     m.TimedOut - other.TimedOut,
 	}
 }
 
@@ -243,7 +256,9 @@ func (e *Executor) LoadProgram(p *isa.Program, sb isa.Sandbox) error {
 	e.sb = sb
 	e.started = false
 	if e.cfg.Strategy == StrategyOpt {
-		e.startup()
+		if err := e.startup(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -257,7 +272,9 @@ func (e *Executor) Run(in *isa.Input) (*UTrace, error) {
 		return nil, fmt.Errorf("executor: Run before LoadProgram")
 	}
 	if e.cfg.Strategy == StrategyNaive || !e.started {
-		e.startup()
+		if err := e.startup(); err != nil {
+			return nil, err
+		}
 	}
 	return e.runOnce(in)
 }
@@ -340,7 +357,9 @@ func (e *Executor) RunLoggedPair(a, b *isa.Input) (logA, logB []uarch.LogRec, tr
 		return nil, nil, nil, nil, fmt.Errorf("executor: RunLoggedPair before LoadProgram")
 	}
 	if !e.started {
-		e.startup()
+		if err := e.startup(); err != nil {
+			return nil, nil, nil, nil, err
+		}
 	}
 	warm, err := e.runOnce(a)
 	if err != nil {
@@ -373,13 +392,19 @@ func (e *Executor) RunLoggedPair(a, b *isa.Input) (logA, logB []uarch.LogRec, tr
 // The Naive strategy never uses the checkpoint: Naive models launching a
 // fresh simulator process per input, and that per-input boot cost is the
 // very thing its experiments (Table 2/3) measure.
-func (e *Executor) startup() {
+//
+// A boot failure is returned, not panicked: in a long-lived service a
+// failing start must surface as that campaign's error, never as process
+// death. The executor stays un-started, so a later call retries cleanly.
+func (e *Executor) startup() error {
 	t0 := time.Now()
 	if e.reuseBoot && e.bootCP != nil && e.cfg.Strategy != StrategyNaive {
 		e.core.RestoreUarch(e.bootCP)
 	} else {
 		e.core.ResetUarch()
-		e.runBoot()
+		if err := e.runBoot(); err != nil {
+			return err
+		}
 		e.core.ResetUarch()
 		if e.reuseBoot && e.bootCP == nil && e.cfg.Strategy != StrategyNaive {
 			e.bootCP = e.core.SaveUarch()
@@ -388,6 +413,7 @@ func (e *Executor) startup() {
 	e.started = true
 	e.met.Starts++
 	e.met.Startup += time.Since(t0)
+	return nil
 }
 
 // bootCache holds the deterministic SE-mode startup workloads, built once
@@ -423,7 +449,7 @@ func bootProgram(n int) *isa.Program {
 	return p
 }
 
-func (e *Executor) runBoot() {
+func (e *Executor) runBoot() error {
 	e.met.BootRuns++
 	// The boot workload is identical for every start; its features are
 	// noise, not signal, so coverage is suspended while it runs.
@@ -435,15 +461,15 @@ func (e *Executor) runBoot() {
 	saveProg, saveSB := e.prog, e.sb
 	bootSB := isa.Sandbox{Pages: 4}
 	if err := e.core.LoadTest(boot, bootSB); err != nil {
-		panic(fmt.Sprintf("executor: boot program rejected: %v", err))
+		return fmt.Errorf("executor: boot program rejected: %w", err)
 	}
 	e.core.ResetForInput(isa.NewInput(bootSB))
 	if err := e.core.Run(); err != nil {
-		panic(fmt.Sprintf("executor: boot workload failed: %v", err))
+		return fmt.Errorf("executor: boot workload failed: %w", err)
 	}
 	if saveProg != nil {
 		if err := e.core.LoadTest(saveProg, saveSB); err != nil {
-			panic(fmt.Sprintf("executor: reloading test program failed: %v", err))
+			return fmt.Errorf("executor: reloading test program failed: %w", err)
 		}
 	} else {
 		// No test program was loaded when the boot ran: restore a defined
@@ -452,6 +478,7 @@ func (e *Executor) runBoot() {
 		// LoadProgram rebuilds the image from scratch).
 		e.core.ClearTest()
 	}
+	return nil
 }
 
 // prime resets the memory-system state ahead of a test case according to

@@ -266,7 +266,9 @@ func TestMetricsPrimeBucket(t *testing.T) {
 // from scratch.
 func TestBootWithoutProgramLeavesDefinedState(t *testing.T) {
 	e := New(testConfig(StrategyOpt, PrimeFill), nil)
-	e.startup() // boots with e.prog == nil
+	if err := e.startup(); err != nil { // boots with e.prog == nil
+		t.Fatal(err)
+	}
 	if e.core.Program() != nil {
 		t.Fatalf("boot program left loaded after a no-program startup")
 	}

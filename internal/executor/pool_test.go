@@ -23,7 +23,10 @@ func poolConfig() Config {
 func nopFactory() uarch.Defense { return uarch.NopDefense{} }
 
 func TestPoolAcquireRelease(t *testing.T) {
-	p := NewPool(poolConfig(), nopFactory, 2)
+	p, err := NewPool(poolConfig(), nopFactory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := context.Background()
 	a, err := p.Acquire(ctx)
 	if err != nil {
@@ -54,6 +57,43 @@ func TestPoolAcquireRelease(t *testing.T) {
 	p.Release(c)
 	if got := p.Metrics().BootRuns; got != 0 {
 		t.Errorf("idle pool executors booted %d times", got)
+	}
+}
+
+func TestNewPoolRejectsBadConfig(t *testing.T) {
+	if _, err := NewPool(poolConfig(), nopFactory, 0); err == nil {
+		t.Error("NewPool accepted size 0")
+	}
+	if _, err := NewPool(poolConfig(), nil, 2); err == nil {
+		t.Error("NewPool accepted a nil factory")
+	}
+}
+
+// TestPoolDiscard pins the poisoned-executor path: a discarded executor
+// never re-enters circulation (even if Released afterwards), its slot is
+// replaced by a fresh executor, and its metrics vanish from the pool sum.
+func TestPoolDiscard(t *testing.T) {
+	p, err := NewPool(poolConfig(), nopFactory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Discard(a)
+	p.Release(a) // late Release of a discarded executor must be a no-op
+	b, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("pool handed back a discarded executor")
+	}
+	p.Release(b)
+	if got := p.Metrics(); got != (b.Metrics()) {
+		t.Errorf("pool metrics include a discarded executor: %+v", got)
 	}
 }
 

@@ -2,33 +2,23 @@ package experiments_test
 
 import (
 	"context"
-	"fmt"
-	"hash/fnv"
+	"errors"
 	"testing"
 
 	"github.com/sith-lab/amulet-go/internal/engine"
 	"github.com/sith-lab/amulet-go/internal/experiments"
+	"github.com/sith-lab/amulet-go/internal/faultinject"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 )
 
 // violationFingerprint digests the full violation set of a campaign —
 // defense, program index, contract-trace hash, and the exact bytes of both
 // violating inputs — in aggregation order. Identical fingerprints mean
-// identical violation sets bit for bit.
+// identical violation sets bit for bit. The algorithm moved to
+// fuzzer.ViolationFingerprint (cmd/amulet prints it so CI can diff runs);
+// this wrapper keeps the test sites and the historical golden values as-is.
 func violationFingerprint(vs []*fuzzer.Violation) uint64 {
-	h := fnv.New64a()
-	for _, v := range vs {
-		fmt.Fprintf(h, "%s|%d|%x|", v.Defense, v.ProgramIndex, v.CTrace.Hash())
-		for _, r := range v.InputA.Regs {
-			fmt.Fprintf(h, "%x,", r)
-		}
-		h.Write(v.InputA.Mem)
-		for _, r := range v.InputB.Regs {
-			fmt.Fprintf(h, "%x,", r)
-		}
-		h.Write(v.InputB.Mem)
-	}
-	return h.Sum64()
+	return fuzzer.ViolationFingerprint(vs)
 }
 
 // TestViolationSetDeterminism pins the campaign outcome of a fixed seed to
@@ -159,6 +149,71 @@ func TestViolationSetDeterminism(t *testing.T) {
 							g.defense, workers, fullPrime, eventSched, fp, g.fingerprint)
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestCrashResumeDeterminism extends the golden sweep across process
+// death: each golden campaign is killed twice mid-flight (deterministically
+// — the injector cancels the context after a fixed number of unit starts,
+// standing in for SIGINT/power loss; the engine drains workers and writes
+// its checkpoint exactly as the real signal path does), resumed each time
+// from the checkpoint directory, and run to completion on the third leg.
+// The final violation set must hit the same golden fingerprint as an
+// uninterrupted run at the same seed — at both worker counts, even though
+// *which* units die in flight differs per schedule. Interrupted + resumed
+// and never-interrupted campaigns are indistinguishable, bit for bit.
+func TestCrashResumeDeterminism(t *testing.T) {
+	golden := []struct {
+		defense     string
+		violations  int
+		fingerprint uint64
+	}{
+		{"baseline", 8, 0xab934f6f38c453de},
+		{"cleanupspec", 4, 0x2f34157be71a08ad},
+		{"invisispec", 7, 0x51c232367dd769ba},
+	}
+	for _, g := range golden {
+		for _, workers := range []int{1, 4} {
+			dir := t.TempDir()
+			run := func(ctx context.Context, resume bool, inj *faultinject.Injector) (*fuzzer.CampaignResult, error) {
+				spec, err := experiments.DefenseByName(g.defense)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+				return engine.RunCampaign(ctx, engine.Config{
+					Campaign: experiments.CampaignConfig(spec, sc),
+					Workers:  workers, CheckpointDir: dir, Resume: resume, Inject: inj,
+				})
+			}
+
+			// Two kills: one on the fresh campaign, one on the first resume.
+			for leg, resume := range []bool{false, true} {
+				ctx, cancel := context.WithCancel(context.Background())
+				inj := faultinject.New()
+				inj.ArmCancel(25, cancel)
+				_, err := run(ctx, resume, inj)
+				cancel()
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("%s workers=%d kill %d: err = %v, want context.Canceled",
+						g.defense, workers, leg+1, err)
+				}
+			}
+
+			// Final resume runs the campaign out.
+			res, err := run(context.Background(), true, nil)
+			if err != nil {
+				t.Fatalf("%s workers=%d: final resume failed: %v", g.defense, workers, err)
+			}
+			if len(res.Violations) != g.violations {
+				t.Errorf("%s workers=%d: resumed campaign found %d violations, want %d",
+					g.defense, workers, len(res.Violations), g.violations)
+			}
+			if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
+				t.Errorf("%s workers=%d: resumed fingerprint %#x, want golden %#x",
+					g.defense, workers, fp, g.fingerprint)
 			}
 		}
 	}

@@ -1,0 +1,207 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// campaign durability layer. An Injector holds a set of armed injection
+// points addressed in the same coordinate system the determinism contract
+// already uses — a work unit is (instance, program), a checkpoint write is
+// a fixed sequence of numbered steps, a checkpoint payload is a byte
+// offset — so every injected fault is exactly reproducible: arming the
+// same point against the same seed produces the same failure at the same
+// place, no matter how the engine schedules work.
+//
+// Production code paths carry at most a nil check per work unit; the
+// injector exists for the crash/resume, quarantine and corruption tests
+// (and for CI's fault-injection job), never for normal operation.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies an injection point.
+type Kind uint8
+
+// Injection point kinds.
+const (
+	// KindPanicInUnit panics at the start of work unit (A=instance,
+	// B=program), modelling a simulator bug that kills a worker.
+	KindPanicInUnit Kind = iota + 1
+	// KindHangInUnit blocks work unit (A=instance, B=program) for
+	// HangDuration, modelling a wedged unit the watchdog must degrade to a
+	// counted timeout.
+	KindHangInUnit
+	// KindCrashAtStep makes a checkpoint write die between write steps:
+	// the write performs every step before step A and then returns
+	// ErrInjectedCrash, leaving the filesystem exactly as a process crash
+	// at that point would.
+	KindCrashAtStep
+	// KindFlipByte flips bit B of payload byte A after the checkpoint
+	// self-digest is computed, so the file lands on disk corrupted the way
+	// a torn write or bit rot would corrupt it.
+	KindFlipByte
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanicInUnit:
+		return "panic-in-unit"
+	case KindHangInUnit:
+		return "hang-in-unit"
+	case KindCrashAtStep:
+		return "crash-at-step"
+	case KindFlipByte:
+		return "flip-byte"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Point is one armed injection point.
+type Point struct {
+	Kind Kind
+	A, B int
+}
+
+// ErrInjectedCrash is returned by a checkpoint write that was killed
+// between steps by KindCrashAtStep.
+var ErrInjectedCrash = errors.New("faultinject: injected crash")
+
+// InjectedPanic is the value a KindPanicInUnit point panics with; the
+// quarantine round-trip test matches it to prove a repro bundle replays
+// the original fault.
+type InjectedPanic struct {
+	Inst, Prog int
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic in unit (%d,%d)", p.Inst, p.Prog)
+}
+
+// Injector is a set of armed injection points. The zero value is unusable;
+// build one with New. A nil *Injector is inert: every hook on it is a
+// cheap no-op, which is what production configs pass.
+type Injector struct {
+	mu    sync.Mutex
+	armed map[Point]int // remaining fire count per point
+	fired []Point
+
+	// HangDuration is how long a KindHangInUnit point blocks (default 2s —
+	// long enough for any sane watchdog budget to expire first).
+	HangDuration time.Duration
+
+	// cancelAfter, when positive, counts UnitStart calls down and invokes
+	// cancel when it reaches zero — the deterministic "kill the campaign
+	// after N units have started" used by the kill-and-resume sweep.
+	cancelAfter int
+	cancel      func()
+}
+
+// New returns an empty injector.
+func New() *Injector {
+	return &Injector{armed: map[Point]int{}, HangDuration: 2 * time.Second}
+}
+
+// Arm arms point (kind, a, b) to fire exactly once.
+func (i *Injector) Arm(kind Kind, a, b int) { i.ArmN(kind, a, b, 1) }
+
+// ArmN arms point (kind, a, b) to fire n times.
+func (i *Injector) ArmN(kind Kind, a, b, n int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.armed[Point{kind, a, b}] = n
+}
+
+// ArmCancel makes the injector call cancel once afterUnits work units have
+// started. Which units started first is schedule-dependent, but the
+// determinism contract makes that irrelevant: the cancelled campaign's
+// checkpoint resumes to bit-identical final results either way.
+func (i *Injector) ArmCancel(afterUnits int, cancel func()) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cancelAfter = afterUnits
+	i.cancel = cancel
+}
+
+// Fired returns the points that have fired, in fire order.
+func (i *Injector) Fired() []Point {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Point(nil), i.fired...)
+}
+
+// fire consumes one charge of the point if armed.
+func (i *Injector) fire(p Point) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := i.armed[p]
+	if n <= 0 {
+		return false
+	}
+	i.armed[p] = n - 1
+	i.fired = append(i.fired, p)
+	return true
+}
+
+// UnitStart is the engine's per-unit hook: it panics when a
+// KindPanicInUnit point is armed for (inst, prog), blocks for HangDuration
+// when a KindHangInUnit point is, and drives ArmCancel's countdown.
+func (i *Injector) UnitStart(inst, prog int) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	if i.cancelAfter > 0 {
+		i.cancelAfter--
+		if i.cancelAfter == 0 && i.cancel != nil {
+			cancel := i.cancel
+			i.cancel = nil
+			i.mu.Unlock()
+			cancel()
+			i.mu.Lock()
+		}
+	}
+	i.mu.Unlock()
+	if i.fire(Point{KindPanicInUnit, inst, prog}) {
+		panic(InjectedPanic{Inst: inst, Prog: prog})
+	}
+	if i.fire(Point{KindHangInUnit, inst, prog}) {
+		time.Sleep(i.HangDuration)
+	}
+}
+
+// CrashAt is the checkpoint writer's between-steps hook: it reports
+// whether an armed KindCrashAtStep point says the process dies before
+// executing step. The writer returns ErrInjectedCrash without running the
+// step (or any later one).
+func (i *Injector) CrashAt(step int) bool {
+	if i == nil {
+		return false
+	}
+	return i.fire(Point{KindCrashAtStep, step, 0})
+}
+
+// MutateBytes applies every armed KindFlipByte point to buf (offsets past
+// the end are ignored, spent either way). The checkpoint writer calls it
+// after computing the self-digest, so the corruption is exactly what the
+// digest check must catch on load.
+func (i *Injector) MutateBytes(buf []byte) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	var pts []Point
+	for p, n := range i.armed {
+		if p.Kind == KindFlipByte && n > 0 {
+			pts = append(pts, p)
+		}
+	}
+	i.mu.Unlock()
+	for _, p := range pts {
+		if i.fire(p) && p.A >= 0 && p.A < len(buf) {
+			buf[p.A] ^= 1 << (uint(p.B) % 8)
+		}
+	}
+}

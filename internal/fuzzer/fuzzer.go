@@ -399,6 +399,12 @@ func NewUnitGenStrategy(cfg Config, seed int64, strat generator.Strategy) (*Unit
 // is per-unit state.
 func (u *UnitGen) SetTracePool(tp *contract.TracePool) { u.tp = tp }
 
+// Draws returns the combined draw count of the unit's generation and
+// mutation PRNG streams. Campaign checkpoints record it per completed work
+// unit as a determinism diagnostic: a resumed campaign that replays a unit
+// must land on the same count, or the unit did not do the same work.
+func (u *UnitGen) Draws() uint64 { return u.gen.Draws() + u.mut.Draws() }
+
 // Case runs the generate + collect stages for program pIdx.
 func (u *UnitGen) Case(ctx context.Context, pIdx int) (*ProgramCase, error) {
 	return buildCase(ctx, u.cfg, u.gen, u.mut, u.strat, pIdx, u.tp)

@@ -88,6 +88,12 @@ func New(cfg Config) *Generator {
 // Sandbox returns the sandbox geometry programs are generated for.
 func (g *Generator) Sandbox() isa.Sandbox { return isa.Sandbox{Pages: g.cfg.Pages} }
 
+// Draws returns the generator stream's draw counter — how much of the
+// seeded PRNG stream this generator has consumed. Campaign checkpoints
+// record it per work unit as a determinism diagnostic (same unit, same
+// count, or the unit did not replay the same work).
+func (g *Generator) Draws() uint64 { return g.rng.Draws() }
+
 // Program generates one random test program.
 func (g *Generator) Program() *isa.Program {
 	nInsts := g.cfg.MinInsts + g.rng.Intn(g.cfg.MaxInsts-g.cfg.MinInsts+1)

@@ -29,6 +29,9 @@ func NewMutator(seed int64, mutateRegs, legacy bool) *Mutator {
 	return &Mutator{rng: newRNG(seed, legacy), MutateRegs: mutateRegs}
 }
 
+// Draws returns the mutation stream's draw counter (see Generator.Draws).
+func (m *Mutator) Draws() uint64 { return m.rng.Draws() }
+
 // Mutate derives a contract-preserving mutant of base. usage and baseTrace
 // must come from model.Collect(base). The mutant is verified against the
 // model; ok is false if no verified mutant could be produced (the mutation

@@ -23,6 +23,11 @@ type rngStream interface {
 	Float64() float64
 	Read(p []byte)
 	Perm(n int) []int
+	// Draws returns how many draws the stream has served — the "PRNG
+	// counter" campaign checkpoints record per work unit. For counterRand
+	// it is exactly the splitmix counter position, so two runs of the same
+	// unit that report the same count consumed the identical stream prefix.
+	Draws() uint64
 }
 
 // counterGamma is the splitmix64 stream increment (the golden-ratio odd
@@ -94,18 +99,41 @@ func (c *counterRand) Perm(n int) []int {
 	return p
 }
 
+// Draws implements rngStream: the counter position itself.
+func (c *counterRand) Draws() uint64 { return c.n }
+
 // legacyRand adapts *rand.Rand to rngStream (Read drops the error return
-// math/rand carries for io.Reader compatibility; it cannot fail).
+// math/rand carries for io.Reader compatibility; it cannot fail). Unlike
+// counterRand there is no natural counter in the source, so each rngStream
+// call counts as one draw; the absolute value differs from counterRand's
+// but is equally deterministic, which is all the checkpoint diagnostic
+// needs.
 type legacyRand struct {
-	*rand.Rand
+	r *rand.Rand
+	n uint64
 }
 
-func newLegacyRand(seed int64) legacyRand {
-	return legacyRand{rand.New(rand.NewSource(seed))}
+func newLegacyRand(seed int64) *legacyRand {
+	return &legacyRand{r: rand.New(rand.NewSource(seed))}
 }
+
+// Intn implements rngStream.
+func (l *legacyRand) Intn(n int) int { l.n++; return l.r.Intn(n) }
+
+// Uint64 implements rngStream.
+func (l *legacyRand) Uint64() uint64 { l.n++; return l.r.Uint64() }
+
+// Float64 implements rngStream.
+func (l *legacyRand) Float64() float64 { l.n++; return l.r.Float64() }
 
 // Read implements rngStream.
-func (l legacyRand) Read(p []byte) { l.Rand.Read(p) }
+func (l *legacyRand) Read(p []byte) { l.n++; l.r.Read(p) }
+
+// Perm implements rngStream.
+func (l *legacyRand) Perm(n int) []int { l.n++; return l.r.Perm(n) }
+
+// Draws implements rngStream.
+func (l *legacyRand) Draws() uint64 { return l.n }
 
 // newRNG picks the stream implementation.
 func newRNG(seed int64, legacy bool) rngStream {

@@ -130,6 +130,22 @@ func (c *Coverage) Clone() *Coverage {
 // Reset clears the map.
 func (c *Coverage) Reset() { c.bits = [coverageWords]uint64{} }
 
+// Words copies the bitmap out as raw words (checkpoint serialization).
+func (c *Coverage) Words() []uint64 {
+	w := make([]uint64, coverageWords)
+	copy(w, c.bits[:])
+	return w
+}
+
+// LoadWords overwrites the bitmap from raw words (checkpoint restore).
+// Shorter slices zero the tail; longer ones are truncated — a checkpoint
+// from a build with a different CoverageBits is rejected upstream by the
+// config fingerprint, so this is purely defensive.
+func (c *Coverage) LoadWords(words []uint64) {
+	c.bits = [coverageWords]uint64{}
+	copy(c.bits[:], words)
+}
+
 // Digest returns an order-independent 64-bit summary of the bitmap, usable
 // as a cheap equality probe in tests and reports.
 func (c *Coverage) Digest() uint64 {
