@@ -22,6 +22,7 @@ import (
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/experiments"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/isa/wasm"
 )
 
 // benchScale keeps benchmark iterations in the seconds range.
@@ -298,6 +299,19 @@ func BenchmarkCampaignSerialVsEngine(b *testing.B) {
 		run(b, "engine-w4", 4, func() (*fuzzer.CampaignResult, error) {
 			ccfg := experiments.CampaignConfig(spec, sc)
 			return engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: 4})
+		})
+	})
+	// The same engine budget with the wasm stack frontend: generation,
+	// mutation and lowering all run per test case, so this entry tracks the
+	// per-frontend cost of the pluggable-ISA seam. It gets its own baseline
+	// entry rather than a gate against the toy number — stack programs lower
+	// to more µops per source instruction, so the two throughputs are not
+	// comparable.
+	b.Run("engine-wasm", func(b *testing.B) {
+		run(b, "engine-wasm", runtime.GOMAXPROCS(0), func() (*fuzzer.CampaignResult, error) {
+			ccfg := experiments.CampaignConfig(spec, sc)
+			ccfg.Base.Frontend = wasm.Frontend
+			return engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg})
 		})
 	})
 	// With -count=N the whole function reruns; each pass rewrites the file

@@ -106,14 +106,24 @@ func main() {
 		}
 		fmt.Printf("| %s | %.0f | %.0f | %+.1f%%%s |\n", b, old.CasesPerSec, now.CasesPerSec, delta, mark)
 	}
+	var newEntries []string
 	for _, b := range sortedKeys(cur) {
 		if _, ok := base[b]; !ok {
-			// A benchmark the baseline has not recorded yet: informational
-			// only, and a cue to refresh the committed baseline.
+			// A benchmark the baseline has not recorded yet — typically a
+			// brand-new sub-benchmark such as a freshly added ISA frontend.
+			// That is not a regression and must not fail the build; it is a
+			// cue that the committed baseline needs a refresh so the new
+			// entry starts being gated too.
 			fmt.Printf("| %s | _new_ | %.0f | — |\n", b, cur[b].CasesPerSec)
+			newEntries = append(newEntries, b)
 		}
 	}
 	fmt.Println()
+	if len(newEntries) > 0 {
+		fmt.Printf("NOTE: %d benchmark(s) have no committed baseline yet: %s. "+
+			"Needs baseline refresh — add them to BENCH_engine.baseline.json to gate them from the next change on.\n\n",
+			len(newEntries), strings.Join(newEntries, ", "))
+	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "amulet-benchdiff: no common benchmarks to compare")
 		os.Exit(2)

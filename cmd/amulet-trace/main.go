@@ -6,23 +6,27 @@
 // Usage:
 //
 //	amulet-trace -defense invisispec -seed 7 -program 3 -input 2
+//	amulet-trace -defense baseline -isa wasm -seed 7 -program 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/sith-lab/amulet-go/internal/contract"
 	"github.com/sith-lab/amulet-go/internal/experiments"
 	"github.com/sith-lab/amulet-go/internal/generator"
 	"github.com/sith-lab/amulet-go/internal/isa"
+	_ "github.com/sith-lab/amulet-go/internal/isa/wasm" // register the stack frontend
 	"github.com/sith-lab/amulet-go/internal/uarch"
 )
 
 func main() {
 	var (
 		defense = flag.String("defense", "baseline", "defense configuration")
+		isaName = flag.String("isa", isa.ToyName, "ISA frontend generating the test program ("+strings.Join(isa.FrontendNames(), ", ")+")")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		program = flag.Int("program", 0, "program index within the seed's stream")
 		input   = flag.Int("input", 0, "input index within the program")
@@ -34,23 +38,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fe, err := isa.FrontendByName(*isaName)
+	if err != nil {
+		fatal(err)
+	}
 	gcfg := generator.DefaultConfig()
 	gcfg.Seed = *seed
 	gcfg.Pages = spec.Pages
-	g := generator.New(gcfg)
+	g := generator.NewFor(gcfg, fe)
 	sb := g.Sandbox()
 
-	var prog *isa.Program
+	var src isa.SourceProgram
 	for i := 0; i <= *program; i++ {
-		prog = g.Program()
+		src = g.Source()
 	}
+	prog := fe.Lower(src)
 	var in *isa.Input
 	for i := 0; i <= *input; i++ {
 		in = g.Input()
 	}
 
-	fmt.Printf("=== test program (defense=%s seed=%d program=%d input=%d) ===\n%s\n",
-		spec.Name, *seed, *program, *input, prog)
+	fmt.Printf("=== test program (defense=%s isa=%s seed=%d program=%d input=%d) ===\n%s\n",
+		spec.Name, fe.Name(), *seed, *program, *input, src)
+	if fe.Name() != isa.ToyName {
+		fmt.Printf("=== lowered µops (%d source insts -> %d µops) ===\n%s\n",
+			src.Len(), prog.Len(), prog)
+	}
 
 	md := contract.NewModel(spec.Contract, prog, sb)
 	ctrace, usage := md.Collect(in)

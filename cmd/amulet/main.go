@@ -7,7 +7,9 @@
 //	amulet -defense speclfb -programs 200 -instances 4 -report
 //	amulet -defense stt -workers 8 -timeout 5m
 //	amulet -defense invisispec -strategy corpus -epochs 4
+//	amulet -defense baseline -isa wasm
 //	amulet -experiment table4
+//	amulet -experiment isa
 //	amulet -experiment table6 -scale paper
 //	amulet -experiment strategy
 //	amulet -list
@@ -50,6 +52,8 @@ import (
 	"github.com/sith-lab/amulet-go/internal/executor"
 	"github.com/sith-lab/amulet-go/internal/experiments"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/isa"
+	_ "github.com/sith-lab/amulet-go/internal/isa/wasm" // register the stack frontend
 	"github.com/sith-lab/amulet-go/internal/uarch"
 )
 
@@ -62,6 +66,7 @@ const exitPartial = 3
 func main() {
 	var (
 		defense    = flag.String("defense", "baseline", "target defense configuration ("+strings.Join(experiments.DefenseNames(), ", ")+")")
+		isaName    = flag.String("isa", isa.ToyName, "ISA frontend generating test programs ("+strings.Join(isa.FrontendNames(), ", ")+")")
 		contractFl = flag.String("contract", "", "override the contract (CT-SEQ, CT-COND, ARCH-SEQ)")
 		instances  = flag.Int("instances", 4, "parallel AMuLeT instances")
 		programs   = flag.Int("programs", 100, "test programs per instance")
@@ -80,7 +85,7 @@ func main() {
 		stopFirst  = flag.Bool("stop-on-first", false, "stop each instance at its first confirmed violation")
 		report     = flag.Bool("report", false, "analyze and print violation reports (paper-figure style)")
 		minimize   = flag.Bool("minimize", false, "with -report: also minimize each violation to its gadget")
-		experiment = flag.String("experiment", "", "regenerate a paper table: table2, table3, table4, table5, table6, table8, table11, figures; 'compare' for the extended defense comparison; 'strategy' for the coverage-vs-random head-to-head")
+		experiment = flag.String("experiment", "", "regenerate a paper table: table2, table3, table4, table5, table6, table8, table11, figures; 'compare' for the extended defense comparison; 'strategy' for the coverage-vs-random head-to-head; 'isa' for the frontends-by-defenses comparison")
 		scaleName  = flag.String("scale", "quick", "experiment scale: quick or paper")
 		list       = flag.Bool("list", false, "list available defenses and exit")
 		workers    = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS); the violation set is identical for every value")
@@ -146,6 +151,9 @@ func main() {
 		if *strategy != engine.StrategyRandom || *epochs != 0 {
 			fatal(fmt.Errorf("-strategy/-epochs do not apply to -experiment runs (experiments pin their strategies)"))
 		}
+		if *isaName != isa.ToyName {
+			fatal(fmt.Errorf("-isa does not apply to -experiment runs (the table reproductions pin the toy frontend; 'isa' compares all frontends)"))
+		}
 		// Experiments need whole campaigns for their tables; a partially
 		// restored table would misreport the paper's numbers.
 		if *ckptDir != "" || *resume {
@@ -170,6 +178,11 @@ func main() {
 		Seed:       *seed,
 	}
 	ccfg := experiments.CampaignConfig(spec, scale)
+	frontend, err := isa.FrontendByName(*isaName)
+	if err != nil {
+		fatal(err)
+	}
+	ccfg.Base.Frontend = frontend
 	if *contractFl != "" {
 		c, err := contract.ByName(*contractFl)
 		if err != nil {
@@ -228,9 +241,9 @@ func main() {
 	}
 	ccfg.Base.StopOnFirstViolation = *stopFirst
 
-	fmt.Printf("testing %s against %s: %d instance(s) x %d program(s) x %d input(s), strategy=%s\n",
+	fmt.Printf("testing %s against %s: %d instance(s) x %d program(s) x %d input(s), strategy=%s, isa=%s\n",
 		spec.Name, ccfg.Base.Contract.Name, ccfg.Instances, ccfg.Base.Programs,
-		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput), *strategy)
+		ccfg.Base.BaseInputs*(1+ccfg.Base.MutantsPerInput), *strategy, frontend.Name())
 	res, err := engine.RunCampaign(ctx, engine.Config{
 		Campaign: ccfg, Workers: *workers, Strategy: *strategy, Epochs: *epochs,
 		CheckpointDir: *ckptDir, Resume: *resume, UnitTimeout: *unitTO,
@@ -405,6 +418,12 @@ func runExperiment(ctx context.Context, name, scaleName string, workers int) err
 			return err
 		}
 		fmt.Println(r.Table)
+	case "isa":
+		t, err := experiments.ISAComparison(ctx, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

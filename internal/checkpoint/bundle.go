@@ -27,6 +27,9 @@ type Bundle struct {
 	ConfigFP uint64
 	Defense  string
 	Contract string
+	// Frontend names the ISA frontend the campaign ran; ReplayUnit refuses
+	// a bundle against a campaign configured for a different frontend.
+	Frontend string
 
 	// Seed is the unit's derived RNG seed (fuzzer.UnitSeed of the campaign
 	// seed at these coordinates); Inst/Prog are the unit coordinates.

@@ -10,7 +10,7 @@
 // A checkpoint is a single file, checkpoint.amulet, in the checkpoint
 // directory:
 //
-//	AMULETCKPT1 <fnv64a-digest-hex> <payload-length>\n
+//	AMULETCKPT2 <fnv64a-digest-hex> <payload-length>\n
 //	<JSON-encoded State>
 //
 // The header's digest covers exactly the payload bytes. Load rejects any
@@ -48,8 +48,10 @@ import (
 const FileName = "checkpoint.amulet"
 
 // magic is the format/version tag; a format change bumps it, and Load
-// rejects unknown tags rather than guessing.
-const magic = "AMULETCKPT1"
+// rejects unknown tags rather than guessing. Version 2 introduced
+// frontend-tagged source-program records (ProgRec) and the State.Frontend
+// header when the ISA frontends became pluggable.
+const magic = "AMULETCKPT2"
 
 // Write steps, in execution order — the coordinates KindCrashAtStep
 // injection points address. StepDirSync is last: a crash after the rename
@@ -68,13 +70,56 @@ const (
 // any part of the payload.
 var ErrCorrupt = errors.New("checkpoint: digest mismatch (corrupt or torn checkpoint)")
 
+// ProgRec serializes one frontend-level source program, tagged with the
+// owning frontend's name so decoding resolves the right decoder through the
+// isa frontend registry.
+type ProgRec struct {
+	Frontend string
+	Data     []byte
+}
+
+// EncodeProg serializes a source program through its frontend.
+func EncodeProg(src isa.SourceProgram) (*ProgRec, error) {
+	fe, err := isa.FrontendByName(src.FrontendName())
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	data, err := fe.EncodeProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode %s program: %w", fe.Name(), err)
+	}
+	return &ProgRec{Frontend: fe.Name(), Data: data}, nil
+}
+
+// Decode rebuilds the source program through the registered frontend. An
+// unregistered frontend name is an error: replaying the bytes under the
+// wrong decoder would silently produce garbage.
+func (r *ProgRec) Decode() (isa.SourceProgram, error) {
+	if r == nil {
+		return nil, fmt.Errorf("checkpoint: missing program record")
+	}
+	fe, err := isa.FrontendByName(r.Frontend)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	src, err := fe.DecodeProgram(r.Data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode %s program: %w", r.Frontend, err)
+	}
+	return src, nil
+}
+
 // ViolationRec is the serializable mirror of fuzzer.Violation. The µarch
 // traces (TraceA/TraceB) are deliberately dropped: they are large, and the
 // analysis replay regenerates them deterministically from the program and
-// inputs when a report is requested.
+// inputs when a report is requested. Program is always the lowered µop
+// program (what replays execute); Source is the frontend-level program,
+// recorded only when it is a distinct object (non-toy frontends).
 type ViolationRec struct {
 	Defense      string
 	Contract     string
+	Frontend     string   `json:",omitempty"`
+	Source       *ProgRec `json:",omitempty"`
 	Program      *isa.Program
 	Sandbox      isa.Sandbox
 	InputA       *isa.Input
@@ -86,9 +131,10 @@ type ViolationRec struct {
 
 // EncodeViolation converts a live violation to its checkpoint record.
 func EncodeViolation(v *fuzzer.Violation) ViolationRec {
-	return ViolationRec{
+	rec := ViolationRec{
 		Defense:      v.Defense,
 		Contract:     v.Contract,
+		Frontend:     v.Frontend,
 		Program:      v.Program,
 		Sandbox:      v.Sandbox,
 		InputA:       v.InputA,
@@ -97,14 +143,27 @@ func EncodeViolation(v *fuzzer.Violation) ViolationRec {
 		ProgramIndex: v.ProgramIndex,
 		DetectedAt:   v.DetectedAt,
 	}
+	if v.Source != nil {
+		if p, ok := v.Source.(*isa.Program); !ok || p != v.Program {
+			// The source is a distinct frontend-level object; persist it.
+			// Best effort: the µop program is the replayable artifact, the
+			// source is the human-readable provenance.
+			if src, err := EncodeProg(v.Source); err == nil {
+				rec.Source = src
+			}
+		}
+	}
+	return rec
 }
 
 // Decode rebuilds the violation. TraceA/TraceB are nil; analysis.Analyze
-// regenerates them by replay when needed.
+// regenerates them by replay when needed. When no separate source program
+// was recorded the µop program doubles as the source (toy frontend).
 func (r ViolationRec) Decode() *fuzzer.Violation {
-	return &fuzzer.Violation{
+	v := &fuzzer.Violation{
 		Defense:      r.Defense,
 		Contract:     r.Contract,
+		Frontend:     r.Frontend,
 		Program:      r.Program,
 		Sandbox:      r.Sandbox,
 		InputA:       r.InputA,
@@ -113,6 +172,18 @@ func (r ViolationRec) Decode() *fuzzer.Violation {
 		ProgramIndex: r.ProgramIndex,
 		DetectedAt:   r.DetectedAt,
 	}
+	if v.Frontend == "" {
+		v.Frontend = isa.ToyName
+	}
+	if r.Source != nil {
+		if src, err := r.Source.Decode(); err == nil {
+			v.Source = src
+		}
+	}
+	if v.Source == nil && r.Program != nil {
+		v.Source = r.Program
+	}
+	return v
 }
 
 // ResultRec is the serializable mirror of fuzzer.Result for one completed
@@ -182,15 +253,15 @@ type UnitRec struct {
 	Inst, Prog int
 	RNGDraws   uint64
 	Result     ResultRec
-	// GenProg is the unit's generated program, retained only for units of
-	// epochs whose corpus admission has not happened yet (corpus strategy);
-	// admitted epochs' programs live in Corpus or are dropped.
-	GenProg *isa.Program `json:",omitempty"`
+	// GenSrc is the unit's generated source program, retained only for
+	// units of epochs whose corpus admission has not happened yet (corpus
+	// strategy); admitted epochs' programs live in Corpus or are dropped.
+	GenSrc *ProgRec `json:",omitempty"`
 }
 
 // CorpusRec is one admitted corpus entry.
 type CorpusRec struct {
-	Prog      *isa.Program
+	Src       *ProgRec
 	NewBits   int
 	Violating bool
 }
@@ -208,6 +279,11 @@ type State struct {
 
 	Instances, Programs, Epochs int
 	Strategy                    string
+	// Frontend names the ISA frontend the campaign generated programs on;
+	// resume refuses a checkpoint whose frontend disagrees with the
+	// configured campaign rather than replaying records under the wrong
+	// decoder.
+	Frontend string
 
 	// EpochsDone is how many epochs completed *and were admitted*; units
 	// of later epochs may still appear in Units (partial-epoch progress

@@ -12,8 +12,19 @@ import (
 	"github.com/sith-lab/amulet-go/internal/faultinject"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/generator"
+	"github.com/sith-lab/amulet-go/internal/isa"
 	"github.com/sith-lab/amulet-go/internal/uarch"
 )
+
+// mustProgRec encodes a source program into its checkpoint record form.
+func mustProgRec(t *testing.T, src isa.SourceProgram) *ProgRec {
+	t.Helper()
+	rec, err := EncodeProg(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
 
 // testState builds a state with every field populated: a violating unit
 // result (program, inputs, contract trace), coverage words, corpus entries.
@@ -61,9 +72,9 @@ func testState(t *testing.T) *State {
 		EpochsDone: 1,
 		Units: []UnitRec{
 			{Inst: 0, Prog: 7, RNGDraws: 912, Result: EncodeResult(res)},
-			{Inst: 1, Prog: 5, RNGDraws: 333, Result: EncodeResult(&fuzzer.Result{TestCases: 30}), GenProg: g.Program()},
+			{Inst: 1, Prog: 5, RNGDraws: 333, Result: EncodeResult(&fuzzer.Result{TestCases: 30}), GenSrc: mustProgRec(t, g.Program())},
 		},
-		Corpus:   []CorpusRec{{Prog: prog, NewBits: 4, Violating: true}},
+		Corpus:   []CorpusRec{{Src: mustProgRec(t, prog), NewBits: 4, Violating: true}},
 		Coverage: words,
 	}
 }

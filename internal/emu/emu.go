@@ -1,9 +1,13 @@
-// Package emu implements the functional ISA emulator that AMuLeT-Go's
-// leakage model runs on. It is the stand-in for the Unicorn emulator used by
-// the paper: it executes test programs architecturally, reports every
-// observable event through hooks, and supports checkpoint/rollback so the
-// contract layer (package contract) can explore mispredicted branch paths
-// for contracts with non-empty execution clauses (CT-COND).
+// Package emu implements the functional emulator that AMuLeT-Go's leakage
+// model runs on. It is the stand-in for the Unicorn emulator used by the
+// paper: it executes test programs architecturally, reports every observable
+// event through hooks, and supports checkpoint/rollback so the contract
+// layer (package contract) can explore mispredicted branch paths for
+// contracts with non-empty execution clauses (CT-COND).
+//
+// The emulator executes the µop IR (isa.Program), not frontend source
+// programs — every ISA frontend lowers to that IR before anything runs, so
+// one emulator serves the toy register ISA and the wasm stack machine alike.
 package emu
 
 import (

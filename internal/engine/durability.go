@@ -27,8 +27,10 @@ import (
 // ReferenceModel) are zeroed before digesting: they change how fast a
 // campaign runs, never what it produces, so a checkpoint written under one
 // A/B setting resumes cleanly under the other. Exec.Coverage is likewise
-// zeroed — it is derived from the strategy, which is digested by name.
-func campaignFingerprint(base fuzzer.Config, defense string, instances, epochs int, strategy string) uint64 {
+// zeroed — it is derived from the strategy, which is digested by name. The
+// frontend is digested by name too (the Config field is an interface whose
+// rendering would be an unstable pointer).
+func campaignFingerprint(base fuzzer.Config, defense, frontend string, instances, epochs int, strategy string) uint64 {
 	exec := base.Exec
 	exec.FullPrime, exec.FullDigest, exec.Coverage = false, false, false
 	exec.Core.NaiveSchedule, exec.Core.EventSchedule = false, false
@@ -39,8 +41,8 @@ func campaignFingerprint(base fuzzer.Config, defense string, instances, epochs i
 		mutRegs = fmt.Sprint(*base.MutateRegs)
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "contract=%+v|gen=%+v|exec=%+v|defense=%s|seed=%d|programs=%d|baseinputs=%d|mutants=%d|mutregs=%s|refmodel=false|stopfirst=%t|maxviol=%d|instances=%d|epochs=%d|strategy=%s",
-		base.Contract, base.Gen, exec, defense, base.Seed, base.Programs,
+	fmt.Fprintf(h, "contract=%+v|gen=%+v|exec=%+v|defense=%s|frontend=%s|seed=%d|programs=%d|baseinputs=%d|mutants=%d|mutregs=%s|refmodel=false|stopfirst=%t|maxviol=%d|instances=%d|epochs=%d|strategy=%s",
+		base.Contract, base.Gen, exec, defense, frontend, base.Seed, base.Programs,
 		base.BaseInputs, base.MutantsPerInput, mutRegs,
 		base.StopOnFirstViolation, base.MaxViolationsPerProgram,
 		instances, epochs, strategy)
@@ -64,6 +66,7 @@ func (c *campaign) saveCheckpoint(epochsDone int) error {
 		Programs:   c.programs,
 		Epochs:     c.epochs,
 		Strategy:   c.strategyName,
+		Frontend:   c.frontendName,
 		EpochsDone: epochsDone,
 	}
 	pendingLo := c.programs
@@ -81,8 +84,12 @@ func (c *campaign) saveCheckpoint(epochsDone int) error {
 				RNGDraws: c.draws[i][p],
 				Result:   checkpoint.EncodeResult(c.results[i][p]),
 			}
-			if c.progs != nil && p >= pendingLo {
-				rec.GenProg = c.progs[i][p]
+			if c.progs != nil && p >= pendingLo && c.progs[i][p] != nil {
+				src, err := checkpoint.EncodeProg(c.progs[i][p])
+				if err != nil {
+					return err
+				}
+				rec.GenSrc = src
 			}
 			st.Units = append(st.Units, rec)
 		}
@@ -90,8 +97,12 @@ func (c *campaign) saveCheckpoint(epochsDone int) error {
 	if c.cover != nil {
 		st.Coverage = c.cover.Words()
 		for _, e := range c.entries {
+			src, err := checkpoint.EncodeProg(e.Prog)
+			if err != nil {
+				return err
+			}
 			st.Corpus = append(st.Corpus, checkpoint.CorpusRec{
-				Prog: e.Prog, NewBits: e.NewBits, Violating: e.Violating,
+				Src: src, NewBits: e.NewBits, Violating: e.Violating,
 			})
 		}
 	}
@@ -108,6 +119,10 @@ func (c *campaign) restore(st *checkpoint.State) error {
 		return fmt.Errorf("engine: checkpoint was written by a different campaign configuration (fingerprint %016x, configured %016x)",
 			st.ConfigFP, c.configFP)
 	}
+	if st.Frontend != c.frontendName {
+		return fmt.Errorf("engine: checkpoint was written by the %q ISA frontend, campaign is configured for %q — refusing to replay units under the wrong decoder",
+			st.Frontend, c.frontendName)
+	}
 	if st.Seed != c.base.Seed || st.Instances != c.instances ||
 		st.Programs != c.programs || st.Epochs != c.epochs || st.Strategy != c.strategyName {
 		return fmt.Errorf("engine: checkpoint shape (seed=%d %dx%d epochs=%d %s) does not match campaign (seed=%d %dx%d epochs=%d %s)",
@@ -122,15 +137,24 @@ func (c *campaign) restore(st *checkpoint.State) error {
 		c.results[u.Inst][u.Prog] = u.Result.Decode()
 		c.done[u.Inst][u.Prog] = true
 		c.draws[u.Inst][u.Prog] = u.RNGDraws
-		if c.progs != nil && u.GenProg != nil {
-			c.progs[u.Inst][u.Prog] = u.GenProg
+		if c.progs != nil && u.GenSrc != nil {
+			src, err := u.GenSrc.Decode()
+			if err != nil {
+				return fmt.Errorf("engine: checkpoint unit (%d,%d): %v: %w",
+					u.Inst, u.Prog, err, checkpoint.ErrCorrupt)
+			}
+			c.progs[u.Inst][u.Prog] = src
 		}
 	}
 	if c.cover != nil {
 		c.cover.LoadWords(st.Coverage)
 		for _, r := range st.Corpus {
+			src, err := r.Src.Decode()
+			if err != nil {
+				return fmt.Errorf("engine: checkpoint corpus entry: %v: %w", err, checkpoint.ErrCorrupt)
+			}
 			c.entries = append(c.entries, generator.CorpusEntry{
-				Prog: r.Prog, NewBits: r.NewBits, Violating: r.Violating,
+				Prog: src, NewBits: r.NewBits, Violating: r.Violating,
 			})
 		}
 	}
@@ -161,7 +185,7 @@ func (e *QuarantineError) Error() string {
 // unitOutcome is what the isolation layer hands back to the worker loop.
 type unitOutcome struct {
 	res   *fuzzer.Result
-	prog  *isa.Program
+	prog  isa.SourceProgram
 	draws uint64
 	err   error
 	// done marks the unit finished for checkpoint purposes: completed, or
@@ -236,6 +260,7 @@ func (c *campaign) quarantine(u unit, kind, value, stack string) {
 		ConfigFP: c.configFP,
 		Defense:  c.defenseName,
 		Contract: c.base.Contract.Name,
+		Frontend: c.frontendName,
 		Seed:     c.base.Seed,
 		Inst:     u.inst,
 		Prog:     u.prog,
@@ -272,7 +297,12 @@ func ReplayUnit(ctx context.Context, cfg Config, b *checkpoint.Bundle, inj *faul
 	}
 	epochs := resolveEpochs(cfg, base.Programs)
 	defense := base.DefenseFactory().Name()
-	fp := campaignFingerprint(base, defense, instances, epochs, strategy)
+	frontend := base.ResolvedFrontend().Name()
+	if b.Frontend != "" && b.Frontend != frontend {
+		return nil, fmt.Errorf("engine: bundle was captured on the %q ISA frontend, campaign is configured for %q — refusing to replay the unit under the wrong decoder",
+			b.Frontend, frontend)
+	}
+	fp := campaignFingerprint(base, defense, frontend, instances, epochs, strategy)
 	if fp != b.ConfigFP {
 		return nil, fmt.Errorf("engine: bundle was captured under a different campaign configuration (fingerprint %016x, configured %016x)",
 			b.ConfigFP, fp)
@@ -293,13 +323,14 @@ func ReplayUnit(ctx context.Context, cfg Config, b *checkpoint.Bundle, inj *faul
 		return nil, err
 	}
 	c := &campaign{
-		base:        base,
-		instances:   instances,
-		programs:    base.Programs,
-		start:       time.Now(),
-		inject:      inj,
-		configFP:    fp,
-		defenseName: defense,
+		base:         base,
+		instances:    instances,
+		programs:     base.Programs,
+		start:        time.Now(),
+		inject:       inj,
+		configFP:     fp,
+		defenseName:  defense,
+		frontendName: frontend,
 	}
 	u := unit{
 		inst: b.Inst,

@@ -178,10 +178,10 @@ type campaign struct {
 	// cut, so the racy skip is purely a work-avoidance optimization.
 	stopAt []atomic.Int64
 
-	// results[i][p] is the unit result; progs[i][p] the generated program
-	// (recorded only under the corpus strategy, for admission).
+	// results[i][p] is the unit result; progs[i][p] the generated source
+	// program (recorded only under the corpus strategy, for admission).
 	results [][]*fuzzer.Result
-	progs   [][]*isa.Program
+	progs   [][]isa.SourceProgram
 
 	// Corpus state (corpus strategy only): the campaign-global coverage map
 	// and the admitted entries. Mutated only between epochs, in
@@ -204,6 +204,7 @@ type campaign struct {
 	unitTimeout  time.Duration
 	strategyName string
 	defenseName  string
+	frontendName string
 	epochs       int
 	configFP     uint64
 }
@@ -250,12 +251,13 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 	if c.strategyName == "" {
 		c.strategyName = StrategyRandom
 	}
+	c.frontendName = base.ResolvedFrontend().Name()
 	c.epochs = resolveEpochs(cfg, c.programs)
 	if corpus {
 		c.cover = uarch.NewCoverage()
-		c.progs = make([][]*isa.Program, c.instances)
+		c.progs = make([][]isa.SourceProgram, c.instances)
 		for i := range c.progs {
-			c.progs[i] = make([]*isa.Program, c.programs)
+			c.progs[i] = make([]isa.SourceProgram, c.programs)
 		}
 	}
 
@@ -286,7 +288,7 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 
 	if c.ckptDir != "" {
 		c.defenseName = base.DefenseFactory().Name()
-		c.configFP = campaignFingerprint(base, c.defenseName, c.instances, c.epochs, c.strategyName)
+		c.configFP = campaignFingerprint(base, c.defenseName, c.frontendName, c.instances, c.epochs, c.strategyName)
 	}
 	startEpoch := 0
 	if cfg.Resume {
@@ -550,21 +552,21 @@ func (c *campaign) record(u unit, out unitOutcome) {
 }
 
 // runUnit runs the full stage pipeline of one work unit on the worker's
-// executor, returning the unit-local result, the generated program, and the
-// unit's final PRNG draw count (metrics attributed by snapshot diff, since
-// the executor is shared across this worker's units).
-func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit, tp *contract.TracePool) (*fuzzer.Result, *isa.Program, uint64, error) {
+// executor, returning the unit-local result, the generated source program,
+// and the unit's final PRNG draw count (metrics attributed by snapshot
+// diff, since the executor is shared across this worker's units).
+func (c *campaign) runUnit(ctx context.Context, exec *executor.Executor, strat generator.Strategy, u unit, tp *contract.TracePool) (*fuzzer.Result, isa.SourceProgram, uint64, error) {
 	t0 := time.Now()
 	before := exec.Metrics()
 	res := &fuzzer.Result{}
-	var prog *isa.Program
+	var prog isa.SourceProgram
 	var draws uint64
 	ug, err := fuzzer.NewUnitGenStrategy(c.base, u.seed, strat)
 	if err == nil {
 		ug.SetTracePool(tp)
 		var pc *fuzzer.ProgramCase
 		if pc, err = ug.Case(ctx, u.prog); err == nil {
-			prog = pc.Prog
+			prog = pc.Source
 			_, err = fuzzer.ExecuteCase(ctx, exec, c.base, pc, res, c.start)
 		}
 		draws = ug.Draws()

@@ -9,6 +9,7 @@ import (
 	"github.com/sith-lab/amulet-go/internal/experiments"
 	"github.com/sith-lab/amulet-go/internal/faultinject"
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/isa/wasm"
 )
 
 // violationFingerprint digests the full violation set of a campaign —
@@ -122,6 +123,49 @@ func TestViolationSetDeterminism(t *testing.T) {
 			}
 		}
 	}
+
+	// The stack frontend gets its own golden sweep: same budget and seed,
+	// wasm-generated programs. The sweep pins the frontend's generation,
+	// mutation and lowering streams across worker counts and both prime
+	// modes — the engine's schedule-independence contract is
+	// frontend-independent, and so is the incremental prime's bit-identity.
+	t.Run("wasm", func(t *testing.T) {
+		wasmGolden := []struct {
+			defense     string
+			violations  int
+			fingerprint uint64
+		}{
+			{"baseline", 1, 0xea4850e7d3d9d3ae},
+			{"cleanupspec", 0, 0xcbf29ce484222325}, // empty set: FNV-1a offset basis
+			{"invisispec", 1, 0x7053ea8c72d55960},
+		}
+		for _, g := range wasmGolden {
+			for _, workers := range []int{1, 4} {
+				for _, fullPrime := range []bool{false, true} {
+					spec, err := experiments.DefenseByName(g.defense)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sc := experiments.Scale{Instances: 2, Programs: 40, BaseInputs: 6, Mutants: 4, BootInsts: 2000, Seed: 1}
+					ccfg := experiments.CampaignConfig(spec, sc)
+					ccfg.Base.Frontend = wasm.Frontend
+					ccfg.Base.Exec.FullPrime = fullPrime
+					res, err := engine.RunCampaign(context.Background(), engine.Config{Campaign: ccfg, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Violations) != g.violations {
+						t.Errorf("wasm %s workers=%d fullPrime=%v: %d violations, want %d",
+							g.defense, workers, fullPrime, len(res.Violations), g.violations)
+					}
+					if fp := violationFingerprint(res.Violations); fp != g.fingerprint {
+						t.Errorf("wasm %s workers=%d fullPrime=%v: violation-set fingerprint %#x, want %#x",
+							g.defense, workers, fullPrime, fp, g.fingerprint)
+					}
+				}
+			}
+		}
+	})
 
 	for _, g := range golden {
 		for _, workers := range []int{1, 4} {

@@ -29,6 +29,13 @@ type Config struct {
 	Gen      generator.Config
 	Exec     executor.Config
 
+	// Frontend selects the source ISA programs are generated on
+	// (isa.Frontend). Nil selects the toy register frontend — the paper's
+	// setup, bit-identical to the pre-frontend pipeline. The frontend only
+	// touches the generation stage: execution always runs the lowered µop
+	// program.
+	Frontend isa.Frontend
+
 	// DefenseFactory builds the defense instance for this fuzzer's core.
 	DefenseFactory func() uarch.Defense
 
@@ -86,7 +93,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxViolationsPerProgram == 0 {
 		c.MaxViolationsPerProgram = 4
 	}
+	c.Frontend = c.ResolvedFrontend()
 	return c
+}
+
+// ResolvedFrontend returns the configured frontend, defaulting to the toy
+// register frontend. The engine uses it to stamp checkpoint and bundle
+// identities without mutating the config.
+func (c Config) ResolvedFrontend() isa.Frontend {
+	if c.Frontend == nil {
+		return isa.Toy
+	}
+	return c.Frontend
 }
 
 // mutateRegs resolves the register-mutation policy against the contract.
@@ -103,6 +121,12 @@ func (c Config) mutateRegs() bool {
 type Violation struct {
 	Defense  string
 	Contract string
+	// Frontend names the ISA frontend the program was generated on; Source
+	// is the frontend-level source program (for the toy frontend it is the
+	// µop Program itself). Program is always the lowered µop program the
+	// simulator executed — replays and fingerprints operate on it.
+	Frontend string
+	Source   isa.SourceProgram
 	Program  *isa.Program
 	Sandbox  isa.Sandbox
 	InputA   *isa.Input
@@ -220,7 +244,7 @@ func New(cfg Config) (*Fuzzer, error) {
 	exec.EnableBootCheckpoint()
 	return &Fuzzer{
 		cfg:  cfg,
-		gen:  generator.New(genCfg),
+		gen:  generator.NewFor(genCfg, cfg.Frontend),
 		mut:  generator.NewMutator(cfg.Seed^mutatorSeedMix, cfg.mutateRegs(), cfg.Gen.LegacyRand),
 		exec: exec,
 		def:  def,
@@ -280,7 +304,10 @@ type InputClass struct {
 // (bases plus verified contract-preserving mutants) grouped into
 // contract-equivalence classes in deterministic first-seen order.
 type ProgramCase struct {
-	Index   int
+	Index int
+	// Source is the frontend-level program; Prog its µop lowering (the same
+	// object on the toy frontend).
+	Source  isa.SourceProgram
 	Prog    *isa.Program
 	SB      isa.Sandbox
 	Classes []*InputClass
@@ -306,7 +333,8 @@ type ProgramCase struct {
 func buildCase(ctx context.Context, cfg Config, gen *generator.Generator, mut *generator.Mutator, strat generator.Strategy, pIdx int, tp *contract.TracePool) (*ProgramCase, error) {
 	pc := &ProgramCase{Index: pIdx, pool: tp}
 	t0 := time.Now()
-	pc.Prog = strat.NewProgram(gen)
+	pc.Source = strat.NewProgram(gen)
+	pc.Prog = gen.Frontend().Lower(pc.Source)
 	pc.SB = gen.Sandbox()
 	pc.GenTime += time.Since(t0)
 	model := contract.NewModel(cfg.Contract, pc.Prog, pc.SB)
@@ -387,7 +415,7 @@ func NewUnitGenStrategy(cfg Config, seed int64, strat generator.Strategy) (*Unit
 	genCfg.Seed = seed
 	return &UnitGen{
 		cfg:   cfg,
-		gen:   generator.New(genCfg),
+		gen:   generator.NewFor(genCfg, cfg.Frontend),
 		mut:   generator.NewMutator(seed^mutatorSeedMix, cfg.mutateRegs(), cfg.Gen.LegacyRand),
 		strat: strat,
 	}, nil
@@ -499,6 +527,8 @@ func ExecuteCase(ctx context.Context, exec *executor.Executor, cfg Config, pc *P
 		res.Violations = append(res.Violations, &Violation{
 			Defense:      defName,
 			Contract:     cfg.Contract.Name,
+			Frontend:     cfg.Frontend.Name(),
+			Source:       pc.Source,
 			Program:      pc.Prog,
 			Sandbox:      pc.SB,
 			InputA:       cls.Inputs[i],

@@ -1,8 +1,10 @@
 // Package generator produces random test programs and inputs, mirroring the
-// Revizor test generator that AMuLeT reuses: programs are up to five basic
-// blocks of randomly selected instructions linked into a directed acyclic
-// control-flow graph, with all memory accesses confined to a sandbox, plus
-// random inputs and contract-preserving input mutation.
+// Revizor test generator that AMuLeT reuses: programs are generated,
+// mutated and spliced by a pluggable ISA frontend (isa.Frontend — the toy
+// register ISA by default, the WASM-subset stack machine behind -isa=wasm),
+// with all memory accesses confined to a sandbox, plus random inputs and
+// contract-preserving input mutation. Every random decision is drawn from a
+// seeded stream, so campaigns are reproducible on any frontend.
 package generator
 
 import (
@@ -70,20 +72,54 @@ func (c Config) Validate() error {
 	return isa.Sandbox{Pages: c.Pages}.Validate()
 }
 
-// Generator produces random programs and inputs from a seeded PRNG, so
-// campaigns are reproducible.
-type Generator struct {
-	cfg Config
-	rng rngStream
+// Params resolves the config into the frontend-independent generation
+// parameters handed to isa.Frontend hooks.
+func (c Config) Params() isa.GenParams {
+	return isa.GenParams{
+		MinInsts:    c.MinInsts,
+		MaxInsts:    c.MaxInsts,
+		MaxBlocks:   c.MaxBlocks,
+		Sandbox:     isa.Sandbox{Pages: c.Pages},
+		WeightALU:   c.WeightALU,
+		WeightLoad:  c.WeightLoad,
+		WeightStore: c.WeightStore,
+		WeightCmp:   c.WeightCmp,
+		WeightCmov:  c.WeightCmov,
+		WeightFence: c.WeightFence,
+		ChainBias:   c.ChainBias,
+	}
 }
 
-// New builds a generator. It panics on invalid configuration.
-func New(cfg Config) *Generator {
+// Generator produces random programs and inputs from a seeded PRNG, so
+// campaigns are reproducible. Program generation and mutation are delegated
+// to an isa.Frontend (the toy register ISA unless NewFor selects another);
+// input generation is frontend-independent — inputs are architectural
+// register files plus sandbox memory either way.
+type Generator struct {
+	cfg    Config
+	fe     isa.Frontend
+	params isa.GenParams
+	rng    rngStream
+}
+
+// New builds a generator for the toy frontend. It panics on invalid
+// configuration.
+func New(cfg Config) *Generator { return NewFor(cfg, isa.Toy) }
+
+// NewFor builds a generator driving the given frontend. It panics on
+// invalid configuration; a nil frontend selects the toy frontend.
+func NewFor(cfg Config, fe isa.Frontend) *Generator {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Generator{cfg: cfg, rng: newRNG(cfg.Seed, cfg.LegacyRand)}
+	if fe == nil {
+		fe = isa.Toy
+	}
+	return &Generator{cfg: cfg, fe: fe, params: cfg.Params(), rng: newRNG(cfg.Seed, cfg.LegacyRand)}
 }
+
+// Frontend returns the ISA frontend this generator drives.
+func (g *Generator) Frontend() isa.Frontend { return g.fe }
 
 // Sandbox returns the sandbox geometry programs are generated for.
 func (g *Generator) Sandbox() isa.Sandbox { return isa.Sandbox{Pages: g.cfg.Pages} }
@@ -94,140 +130,34 @@ func (g *Generator) Sandbox() isa.Sandbox { return isa.Sandbox{Pages: g.cfg.Page
 // count, or the unit did not replay the same work).
 func (g *Generator) Draws() uint64 { return g.rng.Draws() }
 
-// Program generates one random test program.
-func (g *Generator) Program() *isa.Program {
-	nInsts := g.cfg.MinInsts + g.rng.Intn(g.cfg.MaxInsts-g.cfg.MinInsts+1)
-	nBlocks := 1 + g.rng.Intn(g.cfg.MaxBlocks)
-	if nBlocks > nInsts/4 {
-		nBlocks = nInsts / 4
-	}
-	if nBlocks < 1 {
-		nBlocks = 1
-	}
+// Source generates one random source program on the frontend.
+func (g *Generator) Source() isa.SourceProgram { return g.fe.Generate(g.rng, g.params) }
 
-	// Split the body budget across blocks (each block additionally gets a
-	// terminator except the last).
-	sizes := make([]int, nBlocks)
-	for i := range sizes {
-		sizes[i] = 2
-	}
-	for budget := nInsts - 3*nBlocks; budget > 0; budget-- {
-		sizes[g.rng.Intn(nBlocks)]++
-	}
+// Program generates one random test program, lowered to µops. On the toy
+// frontend the lowering is the identity, making this bit-identical to the
+// pre-frontend generator.
+func (g *Generator) Program() *isa.Program { return g.fe.Lower(g.Source()) }
 
-	// Lay out block start indices: each block is body + 1 terminator
-	// (conditional branch or jump), except the last which falls off the end.
-	starts := make([]int, nBlocks)
-	idx := 0
-	for b := 0; b < nBlocks; b++ {
-		starts[b] = idx
-		idx += sizes[b]
-		if b != nBlocks-1 {
-			idx++ // terminator slot
-		}
-	}
-	end := idx
-
-	p := &isa.Program{NumBlocks: nBlocks}
-	lastLoaded := isa.Reg(0)
-	haveLoaded := false
-	for b := 0; b < nBlocks; b++ {
-		for k := 0; k < sizes[b]; k++ {
-			p.Insts = append(p.Insts, g.bodyInst(&lastLoaded, &haveLoaded))
-		}
-		if b == nBlocks-1 {
-			break
-		}
-		// Terminator: a conditional branch to a random later block (its
-		// fallthrough is the next block), or occasionally a plain jump.
-		targetBlock := b + 1 + g.rng.Intn(nBlocks-b-1)
-		target := starts[targetBlock]
-		if targetBlock == b+1 || g.rng.Intn(8) == 0 {
-			// Jump either to the next block (a no-op jump, kept for CFG
-			// variety) or skip ahead unconditionally.
-			if g.rng.Intn(4) == 0 {
-				p.Insts = append(p.Insts, isa.Jmp(target))
-			} else {
-				p.Insts = append(p.Insts, isa.Branch(g.randCond(), target))
-			}
-		} else {
-			p.Insts = append(p.Insts, isa.Branch(g.randCond(), target))
-		}
-	}
-	if len(p.Insts) != end {
-		panic(fmt.Sprintf("generator: layout mismatch %d != %d", len(p.Insts), end))
-	}
-	if err := p.Validate(); err != nil {
-		panic(fmt.Sprintf("generator: produced invalid program: %v", err))
-	}
-	return p
+// MutateSource derives a point-mutated variant of src on the frontend.
+func (g *Generator) MutateSource(src isa.SourceProgram) isa.SourceProgram {
+	return g.fe.Mutate(g.rng, g.params, src)
 }
 
-func (g *Generator) randCond() isa.Cond { return isa.Cond(g.rng.Intn(isa.NumConds)) }
-
-func (g *Generator) randReg() isa.Reg { return isa.Reg(g.rng.Intn(isa.NumRegs)) }
-
-func (g *Generator) randSize() uint8 {
-	switch g.rng.Intn(6) {
-	case 0:
-		return 1
-	case 1:
-		return 2
-	case 2, 3:
-		return 4
-	default:
-		return 8
-	}
+// SpliceSource crosses two source programs on the frontend.
+func (g *Generator) SpliceSource(a, b isa.SourceProgram) isa.SourceProgram {
+	return g.fe.Splice(g.rng, g.params, a, b)
 }
 
-func (g *Generator) bodyInst(lastLoaded *isa.Reg, haveLoaded *bool) isa.Inst {
-	total := g.cfg.WeightALU + g.cfg.WeightLoad + g.cfg.WeightStore +
-		g.cfg.WeightCmp + g.cfg.WeightCmov + g.cfg.WeightFence
-	r := g.rng.Intn(total)
+// MutateProgram derives a mutant of a toy-frontend program (convenience
+// wrapper over MutateSource for µop-level callers and tests).
+func (g *Generator) MutateProgram(p *isa.Program) *isa.Program {
+	return g.fe.Lower(g.MutateSource(p))
+}
 
-	memBase := func() isa.Reg {
-		if *haveLoaded && g.rng.Float64() < g.cfg.ChainBias {
-			return *lastLoaded
-		}
-		return g.randReg()
-	}
-	imm := func() int64 { return int64(g.rng.Intn(int(g.Sandbox().Size()))) }
-
-	switch {
-	case r < g.cfg.WeightALU:
-		ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpMul, isa.OpMov, isa.OpMovImm}
-		op := ops[g.rng.Intn(len(ops))]
-		switch op {
-		case isa.OpMovImm:
-			return isa.MovImm(g.randReg(), int64(g.rng.Uint64()>>g.rng.Intn(60)))
-		case isa.OpMov:
-			return isa.Mov(g.randReg(), g.randReg())
-		case isa.OpShl, isa.OpShr:
-			return isa.ALUImm(op, g.randReg(), g.randReg(), int64(g.rng.Intn(12)))
-		default:
-			if g.rng.Intn(2) == 0 {
-				return isa.ALUImm(op, g.randReg(), g.randReg(), int64(g.rng.Intn(4096)))
-			}
-			return isa.ALU(op, g.randReg(), g.randReg(), g.randReg())
-		}
-	case r < g.cfg.WeightALU+g.cfg.WeightLoad:
-		dst := g.randReg()
-		in := isa.Load(dst, memBase(), imm(), g.randSize())
-		*lastLoaded = dst
-		*haveLoaded = true
-		return in
-	case r < g.cfg.WeightALU+g.cfg.WeightLoad+g.cfg.WeightStore:
-		return isa.Store(memBase(), imm(), g.randReg(), g.randSize())
-	case r < g.cfg.WeightALU+g.cfg.WeightLoad+g.cfg.WeightStore+g.cfg.WeightCmp:
-		if g.rng.Intn(2) == 0 {
-			return isa.CmpImm(g.randReg(), int64(g.rng.Intn(256)))
-		}
-		return isa.Cmp(g.randReg(), g.randReg())
-	case r < g.cfg.WeightALU+g.cfg.WeightLoad+g.cfg.WeightStore+g.cfg.WeightCmp+g.cfg.WeightCmov:
-		return isa.Cmov(g.randCond(), g.randReg(), g.randReg())
-	default:
-		return isa.Fence()
-	}
+// Splice crosses two toy-frontend programs (convenience wrapper over
+// SpliceSource for µop-level callers and tests).
+func (g *Generator) Splice(a, b *isa.Program) *isa.Program {
+	return g.fe.Lower(g.SpliceSource(a, b))
 }
 
 // Input generates a fully random input for the generator's sandbox.

@@ -5,24 +5,23 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"github.com/sith-lab/amulet-go/internal/isa"
 	"github.com/sith-lab/amulet-go/internal/mem"
 )
 
-// rngStream is the PRNG surface generation and mutation draw from. Two
-// implementations exist: counterRand (the default) and legacyRand
-// (math/rand behind Config.LegacyRand / NewMutator's legacy flag, kept for
-// A/B comparison against the pre-switch golden fingerprints).
+// rngStream is the PRNG surface generation and mutation draw from — the
+// isa.RNG interface the frontend hooks consume, plus the draw counter the
+// checkpoint diagnostics record. Two implementations exist: counterRand
+// (the default) and legacyRand (math/rand behind Config.LegacyRand /
+// NewMutator's legacy flag, kept for A/B comparison against the pre-switch
+// golden fingerprints).
 //
 // The switch is a determinism break by design: every draw changes value, so
 // the campaign fingerprints pinned by TestViolationSetDeterminism were
 // re-recorded in the same change (the old values stay in that test as
 // comments, reachable through the legacy knob).
 type rngStream interface {
-	Intn(n int) int
-	Uint64() uint64
-	Float64() float64
-	Read(p []byte)
-	Perm(n int) []int
+	isa.RNG
 	// Draws returns how many draws the stream has served — the "PRNG
 	// counter" campaign checkpoints record per work unit. For counterRand
 	// it is exactly the splitmix counter position, so two runs of the same

@@ -6,12 +6,13 @@ import "github.com/sith-lab/amulet-go/internal/isa"
 // draw every random decision from the Generator passed in, so a work unit's
 // program depends only on the unit's seeded stream (plus any frozen corpus
 // the strategy holds) — the property that keeps engine campaigns
-// deterministic at any worker count.
+// deterministic at any worker count. Programs are frontend-level source
+// programs; the fuzzer lowers them to µops before execution.
 type Strategy interface {
 	// Name identifies the strategy in reports and flags.
 	Name() string
 	// NewProgram produces the next test program from g's stream.
-	NewProgram(g *Generator) *isa.Program
+	NewProgram(g *Generator) isa.SourceProgram
 }
 
 // Random is the blind-generation baseline: every program comes straight
@@ -23,11 +24,11 @@ type Random struct{}
 func (Random) Name() string { return "random" }
 
 // NewProgram implements Strategy by delegating to the generator.
-func (Random) NewProgram(g *Generator) *isa.Program { return g.Program() }
+func (Random) NewProgram(g *Generator) isa.SourceProgram { return g.Source() }
 
 // CorpusEntry is one kept program in the coverage corpus.
 type CorpusEntry struct {
-	Prog *isa.Program
+	Prog isa.SourceProgram
 	// NewBits is how many coverage features the program contributed when it
 	// was admitted; Violating marks programs that produced a confirmed
 	// contract violation. Both weight selection toward the entries most
@@ -42,10 +43,10 @@ type CorpusEntry struct {
 // every program) depend only on epochs < N, never on scheduling order.
 //
 // A fraction of programs remains freshly random (exploration); the rest are
-// derived from corpus entries by the program-level mutators in progmut.go
-// (splice, op/cond flip, window stretch, input-region reshuffle), with
-// violating entries weighted heavily — a program that already produced a
-// violation is the best predictor of finding more.
+// derived from corpus entries by the frontend's program-level mutators
+// (splice plus the frontend's point mutations), with violating entries
+// weighted heavily — a program that already produced a violation is the
+// best predictor of finding more.
 type CorpusStrategy struct {
 	entries []CorpusEntry
 	weights []int // cumulative selection weights
@@ -92,7 +93,7 @@ func (s *CorpusStrategy) Name() string { return "corpus" }
 func (s *CorpusStrategy) Len() int { return len(s.entries) }
 
 // pick selects a corpus entry by weight from g's stream.
-func (s *CorpusStrategy) pick(g *Generator) *isa.Program {
+func (s *CorpusStrategy) pick(g *Generator) isa.SourceProgram {
 	r := g.rng.Intn(s.total)
 	for i, w := range s.weights {
 		if r < w {
@@ -105,19 +106,19 @@ func (s *CorpusStrategy) pick(g *Generator) *isa.Program {
 // NewProgram implements Strategy: with an empty corpus (epoch 0) it falls
 // back to pure random generation; otherwise it explores randomly some of
 // the time and mutates (or splices) corpus entries the rest.
-func (s *CorpusStrategy) NewProgram(g *Generator) *isa.Program {
+func (s *CorpusStrategy) NewProgram(g *Generator) isa.SourceProgram {
 	if len(s.entries) == 0 {
-		return g.Program()
+		return g.Source()
 	}
 	if g.rng.Intn(s.ExploreDen) < s.ExploreNum {
-		return g.Program()
+		return g.Source()
 	}
 	base := s.pick(g)
 	if len(s.entries) > 1 && g.rng.Intn(4) == 0 {
 		other := s.pick(g)
 		if other != base {
-			return g.Splice(base, other)
+			return g.SpliceSource(base, other)
 		}
 	}
-	return g.MutateProgram(base)
+	return g.MutateSource(base)
 }

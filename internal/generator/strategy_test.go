@@ -82,7 +82,7 @@ func TestCorpusStrategyProducesValidPrograms(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Fatalf("derivation %d invalid: %v\n%s", i, err, p)
 		}
-		for j, in := range p.Insts {
+		for j, in := range g.Frontend().Lower(p).Insts {
 			if in.Op.IsControl() && in.Target <= j {
 				t.Fatalf("derivation %d not a DAG at inst %d", i, j)
 			}

@@ -1,17 +1,33 @@
-// Package isa defines the instruction set used by AMuLeT-Go test programs.
+// Package isa defines AMuLeT-Go's µop intermediate representation and the
+// pluggable ISA frontends that generate test programs for it.
 //
-// The ISA is a compact, RISC-style 64-bit instruction set that is rich enough
-// to express every leakage gadget exercised by the AMuLeT paper (Spectre-v1
-// and v4 patterns, secret-dependent addresses, conditional moves, loads and
-// stores of several widths, conditional branches forming a DAG control-flow
-// graph) while staying simple enough that both the functional emulator
-// (package emu) and the out-of-order simulator (package uarch) implement
-// exactly the same architectural semantics.
+// The architecture is split in two layers:
+//
+//   - The µop IR (Program, Inst, EvalALU): a compact, RISC-style 64-bit
+//     register instruction set that is rich enough to express every leakage
+//     gadget exercised by the AMuLeT paper (Spectre-v1 and v4 patterns,
+//     secret-dependent addresses, conditional moves, loads and stores of
+//     several widths, conditional branches forming a DAG control-flow graph)
+//     while staying simple enough that both the functional emulator (package
+//     emu) and the out-of-order simulator (package uarch) implement exactly
+//     the same architectural semantics. Everything downstream of generation
+//     — contracts, emulation, simulation, defenses, trace comparison — sees
+//     only this IR.
+//
+//   - Frontends (Frontend, SourceProgram): a frontend owns a source-level
+//     program representation and knows how to generate, mutate and splice it
+//     from seeded random streams, how to lower it to the µop IR, and how to
+//     serialize it for checkpoints and repro bundles. The toy register ISA
+//     (Toy, the default) is the IR itself with an identity lowering; the
+//     WASM-subset stack machine (package isa/wasm, -isa=wasm) is the proof
+//     that the seam is real. Frontends self-register by name
+//     (RegisterFrontend / FrontendByName).
 //
 // Memory sandboxing is part of the architecture: the effective address of
 // every load and store is wrapped into a per-test memory sandbox, mirroring
 // the address-masking (AND reg, 0b111...) that the paper's generator inserts
-// before every x86 memory access.
+// before every x86 memory access. Frontends share the sandbox: lowering maps
+// source-level accesses onto the same wrapped addressing.
 package isa
 
 import (

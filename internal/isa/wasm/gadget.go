@@ -1,0 +1,56 @@
+package wasm
+
+import "github.com/sith-lab/amulet-go/internal/isa"
+
+// SpectreV1Gadget is a Spectre-v1 bounds-check-bypass gadget expressed in
+// the stack frontend: the classic `if (idx < bound) leak(mem[mem[idx]])`
+// pattern of the paper's Figure 1 translated to a stack machine:
+//
+//	local.get 0          ; idx            (seeded from input register R0)
+//	local.get 1          ; &bound         (seeded from input register R1)
+//	i64.load8            ; bound = mem[&bound] — a slow, cold-cache miss
+//	i64.ge_u             ; idx out of bounds?
+//	br_if .end           ; architecturally skips the loads when idx >= bound
+//	local.get 0
+//	i64.load8            ; secret = mem[idx]
+//	i64.const 6
+//	i64.shl              ; secret * 64: one cache line per secret value
+//	i64.load8            ; transmit: touches a secret-selected line
+//	drop
+//	.end:
+//
+// The bound lives in memory, so the branch cannot resolve until a cache
+// miss returns — while the two dependent loads need only the idx register
+// and issue deep inside the branch shadow. With an out-of-bounds idx the
+// loads never execute architecturally, so the contract trace is the same
+// for any secret byte; speculatively they still run, and the second load's
+// cache line encodes mem[idx]. Only a defense that hides speculative cache
+// fills keeps that line out of the µarch trace: the leak surfaces as a
+// contract violation under `baseline` and stays invisible under sound
+// defenses (fenceall and friends).
+func SpectreV1Gadget() *Program {
+	p := &Program{
+		Insts: []Inst{
+			{Op: OpLocalGet, Local: 0},
+			{Op: OpLocalGet, Local: 1},
+			{Op: OpLoad, Size: 1},
+			{Op: OpGeU},
+			{Op: OpBrIf, Target: 11},
+			{Op: OpLocalGet, Local: 0},
+			{Op: OpLoad, Size: 1},
+			{Op: OpConst, Imm: 6},
+			{Op: OpShl},
+			{Op: OpLoad, Size: 1},
+			{Op: OpDrop},
+		},
+		NumBlocks: 2,
+	}
+	if err := p.Validate(); err != nil {
+		panic("wasm: SpectreV1Gadget invalid: " + err.Error())
+	}
+	return p
+}
+
+// Lowered returns the gadget's µop form, convenient for callers that drive
+// the emulator or simulator directly.
+func (p *Program) Lowered() *isa.Program { return lower(p) }

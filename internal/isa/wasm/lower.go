@@ -1,0 +1,134 @@
+package wasm
+
+import (
+	"fmt"
+
+	"github.com/sith-lab/amulet-go/internal/isa"
+)
+
+// condOf maps a comparison opcode to the µop condition that holds after
+// CMP a, b exactly when the comparison is true: CMP sets Z on equality and
+// C on unsigned borrow (a < b), so lt_u is carry-set and ge_u carry-clear.
+func condOf(o Op) isa.Cond {
+	switch o {
+	case OpEq:
+		return isa.CondEQ
+	case OpNe:
+		return isa.CondNE
+	case OpLtU:
+		return isa.CondCS
+	case OpGeU:
+		return isa.CondCC
+	}
+	panic(fmt.Sprintf("wasm: condOf(%v)", o))
+}
+
+// lower translates a validated program to the µop IR. Stack slot d lives in
+// stackReg(d) and locals in R0..R5, both statically assigned (depth is a
+// pure function of the instruction index), so the lowering is a single
+// linear pass: it records the first µop index of every source instruction
+// and patches branch targets afterwards.
+//
+// Comparison results are materialized through CMOV off the scratch register:
+// CMP first, then flag-preserving MOVIs, then the conditional move — MOVI
+// does not set flags, so the pattern is safe.
+func lower(p *Program) *isa.Program {
+	depths, err := p.depths()
+	if err != nil {
+		panic(fmt.Sprintf("wasm: lowering invalid program: %v", err))
+	}
+	uopIndex := make([]int, len(p.Insts)+1)
+	q := &isa.Program{Insts: make([]isa.Inst, 0, 2*len(p.Insts))}
+	// fixups[k] is the source-level target of the k-th control µop emitted;
+	// control µop positions are collected in fixAt.
+	var fixAt []int
+	var fixups []int
+
+	for i, in := range p.Insts {
+		uopIndex[i] = len(q.Insts)
+		d := depths[i]
+		switch in.Op {
+		case OpNop:
+			q.Insts = append(q.Insts, isa.Nop())
+		case OpConst:
+			q.Insts = append(q.Insts, isa.MovImm(stackReg(d), in.Imm))
+		case OpLocalGet:
+			q.Insts = append(q.Insts, isa.Mov(stackReg(d), localReg(in.Local)))
+		case OpLocalSet, OpLocalTee:
+			q.Insts = append(q.Insts, isa.Mov(localReg(in.Local), stackReg(d-1)))
+		case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShrU, OpMul:
+			q.Insts = append(q.Insts, isa.ALU(binOpOf(in.Op), stackReg(d-2), stackReg(d-2), stackReg(d-1)))
+		case OpEqz:
+			q.Insts = append(q.Insts,
+				isa.CmpImm(stackReg(d-1), 0),
+				isa.MovImm(scratchReg, 1),
+				isa.MovImm(stackReg(d-1), 0),
+				isa.Cmov(isa.CondEQ, stackReg(d-1), scratchReg),
+			)
+		case OpEq, OpNe, OpLtU, OpGeU:
+			q.Insts = append(q.Insts,
+				isa.Cmp(stackReg(d-2), stackReg(d-1)),
+				isa.MovImm(stackReg(d-2), 0),
+				isa.MovImm(scratchReg, 1),
+				isa.Cmov(condOf(in.Op), stackReg(d-2), scratchReg),
+			)
+		case OpDrop:
+			// The value simply stops being live; no µop.
+		case OpSelect:
+			q.Insts = append(q.Insts,
+				isa.CmpImm(stackReg(d-1), 0),
+				isa.Cmov(isa.CondEQ, stackReg(d-3), stackReg(d-2)),
+			)
+		case OpLoad:
+			q.Insts = append(q.Insts, isa.Load(stackReg(d-1), stackReg(d-1), in.Imm, in.Size))
+		case OpStore:
+			q.Insts = append(q.Insts, isa.Store(stackReg(d-2), in.Imm, stackReg(d-1), in.Size))
+		case OpBrIf:
+			q.Insts = append(q.Insts, isa.CmpImm(stackReg(d-1), 0))
+			fixAt = append(fixAt, len(q.Insts))
+			fixups = append(fixups, in.Target)
+			q.Insts = append(q.Insts, isa.Branch(isa.CondNE, 0))
+		case OpBr:
+			fixAt = append(fixAt, len(q.Insts))
+			fixups = append(fixups, in.Target)
+			q.Insts = append(q.Insts, isa.Jmp(0))
+		case OpFence:
+			q.Insts = append(q.Insts, isa.Fence())
+		default:
+			panic(fmt.Sprintf("wasm: lowering unknown op %v", in.Op))
+		}
+	}
+	uopIndex[len(p.Insts)] = len(q.Insts)
+
+	for k, at := range fixAt {
+		q.Insts[at].Target = uopIndex[fixups[k]]
+	}
+	q.NumBlocks = len(fixAt) + 1
+	if err := q.Validate(); err != nil {
+		panic(fmt.Sprintf("wasm: lowering produced invalid µop program: %v", err))
+	}
+	return q
+}
+
+// binOpOf maps a stack binop to its µop ALU opcode.
+func binOpOf(o Op) isa.Op {
+	switch o {
+	case OpAdd:
+		return isa.OpAdd
+	case OpSub:
+		return isa.OpSub
+	case OpAnd:
+		return isa.OpAnd
+	case OpOr:
+		return isa.OpOr
+	case OpXor:
+		return isa.OpXor
+	case OpShl:
+		return isa.OpShl
+	case OpShrU:
+		return isa.OpShr
+	case OpMul:
+		return isa.OpMul
+	}
+	panic(fmt.Sprintf("wasm: binOpOf(%v)", o))
+}
