@@ -54,7 +54,6 @@ import (
 	"github.com/sith-lab/amulet-go/internal/fuzzer"
 	"github.com/sith-lab/amulet-go/internal/isa"
 	_ "github.com/sith-lab/amulet-go/internal/isa/wasm" // register the stack frontend
-	"github.com/sith-lab/amulet-go/internal/uarch"
 )
 
 // exitPartial is the exit status of a run that finished with partial
@@ -298,51 +297,10 @@ func main() {
 	}
 }
 
+// printSummary renders the standard campaign summary (shared with
+// cmd/amulet-coordinator via experiments.WriteSummary).
 func printSummary(res *fuzzer.CampaignResult) {
-	tot := res.Totals()
-	fmt.Printf("campaign time:     %v\n", res.Elapsed.Round(1e6))
-	fmt.Printf("test cases:        %d (%.0f/s)\n", res.TestCases, res.Throughput())
-	fmt.Printf("violations:        %d\n", len(res.Violations))
-	fmt.Printf("rejected mutants:  %d (validation runs: %d)\n", tot.RejectedMutants, tot.ValidationRuns)
-	if tot.Metrics.Truncations > 0 {
-		// A non-zero count means some contract traces were silently cut off
-		// at the model's step budget — generated programs are DAGs, so this
-		// signals a malformed program source rather than normal operation.
-		fmt.Printf("model truncations: %d (runs cut off at %d steps)\n",
-			tot.Metrics.Truncations, contract.MaxSteps)
-	}
-	cpu := tot.GenTime + tot.ModelTime + tot.Metrics.Startup + tot.Metrics.Prime + tot.Metrics.Simulate + tot.Metrics.TraceExtract + tot.Metrics.Digest
-	if cpu > 0 {
-		fmt.Printf("stage times (cpu): gen %v (%.0f%%) | model %v (%.0f%%) | prime %v (%.0f%%) | exec %v (%.0f%%) | trace %v (%.0f%%) | digest %v (%.0f%%) | startup %v (%.0f%%)\n",
-			tot.GenTime.Round(1e6), 100*float64(tot.GenTime)/float64(cpu),
-			tot.ModelTime.Round(1e6), 100*float64(tot.ModelTime)/float64(cpu),
-			tot.Metrics.Prime.Round(1e6), 100*float64(tot.Metrics.Prime)/float64(cpu),
-			tot.Metrics.Simulate.Round(1e6), 100*float64(tot.Metrics.Simulate)/float64(cpu),
-			tot.Metrics.TraceExtract.Round(1e6), 100*float64(tot.Metrics.TraceExtract)/float64(cpu),
-			tot.Metrics.Digest.Round(1e6), 100*float64(tot.Metrics.Digest)/float64(cpu),
-			tot.Metrics.Startup.Round(1e6), 100*float64(tot.Metrics.Startup)/float64(cpu))
-	}
-	if tot.Metrics.Quarantined > 0 || tot.Metrics.TimedOut > 0 {
-		// Degraded units were isolated, not fixed: their programs went
-		// untested, so the reported violation set is a lower bound.
-		fmt.Printf("degraded units:    %d quarantined (panic), %d timed out — repro bundles under the checkpoint dir\n",
-			tot.Metrics.Quarantined, tot.Metrics.TimedOut)
-	}
-	if tot.Coverage != nil {
-		fmt.Printf("coverage features: %d of %d\n", tot.Coverage.Count(), uarch.CoverageBits)
-	}
-	if d, ok := res.AvgDetectionTime(); ok {
-		fmt.Printf("avg detection:     %v\n", d.Round(1e6))
-	}
-	// The fingerprint digests the full violation set bit for bit; CI's
-	// crash/resume smoke diffs this line between an interrupted-and-resumed
-	// campaign and an uninterrupted one at the same seed.
-	fmt.Printf("violation fingerprint: %#016x\n", fuzzer.ViolationFingerprint(res.Violations))
-	if len(res.Violations) > 0 {
-		fmt.Printf("contract violated: YES — the defense leaks more than its contract allows\n")
-	} else {
-		fmt.Printf("contract violated: no violation found at this budget\n")
-	}
+	experiments.WriteSummary(os.Stdout, res)
 }
 
 func runExperiment(ctx context.Context, name, scaleName string, workers int) error {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"github.com/sith-lab/amulet-go/internal/faultinject"
 )
 
 // BundleDir is the quarantine subdirectory of a checkpoint directory.
@@ -52,9 +54,12 @@ func BundlePath(dir string, inst, prog int, kind string) string {
 }
 
 // SaveBundle writes b under dir's quarantine subdirectory and returns the
-// path. Bundles are small and advisory (the campaign already moved on), so
-// the write is plain — no temp/rename dance.
-func SaveBundle(dir string, b *Bundle) (string, error) {
+// path. The write goes through the checkpoint package's atomic
+// temp→fsync→rename protocol: a crash mid-quarantine leaves either no
+// bundle or a complete one, never a torn JSON file that engine.ReplayUnit
+// chokes on. inj (nil in production) lets the fault-injection tests kill
+// the write between steps exactly as they do for the checkpoint itself.
+func SaveBundle(dir string, b *Bundle, inj *faultinject.Injector) (string, error) {
 	qdir := filepath.Join(dir, BundleDir)
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		return "", fmt.Errorf("checkpoint: quarantine: %w", err)
@@ -63,11 +68,11 @@ func SaveBundle(dir string, b *Bundle) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("checkpoint: quarantine: %w", err)
 	}
-	path := BundlePath(dir, b.Inst, b.Prog, b.Kind)
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return "", fmt.Errorf("checkpoint: quarantine: %w", err)
+	name := fmt.Sprintf("unit-%d-%d-%s.json", b.Inst, b.Prog, b.Kind)
+	if err := writeAtomic(qdir, name, data, inj); err != nil {
+		return "", fmt.Errorf("quarantine: %w", err)
 	}
-	return path, nil
+	return filepath.Join(qdir, name), nil
 }
 
 // LoadBundle reads a repro bundle.

@@ -1,0 +1,65 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/sith-lab/amulet-go/internal/faultinject"
+)
+
+// TestBundleAtomicity kills a quarantine-bundle write between every pair
+// of protocol steps and proves the invariant SaveBundle's doc promises:
+// the quarantine directory holds either no bundle or a complete, loadable
+// one — never torn JSON. (Crashing at StepDirSync is after the rename, so
+// there the complete new bundle must be present.)
+func TestBundleAtomicity(t *testing.T) {
+	b := &Bundle{
+		ConfigFP: 0xbeef, Defense: "stt", Contract: "CT-SEQ",
+		Seed: 3, Inst: 0, Prog: 9, Kind: BundlePanic, Value: "boom",
+	}
+	steps := []struct {
+		name        string
+		step        int
+		wantPresent bool
+	}{
+		{"temp-write", StepTempWrite, false},
+		{"temp-sync", StepTempSync, false},
+		{"rename", StepRename, false},
+		{"dir-sync", StepDirSync, true},
+	}
+	for _, s := range steps {
+		t.Run(s.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultinject.New()
+			inj.Arm(faultinject.KindCrashAtStep, s.step, 0)
+			if _, err := SaveBundle(dir, b, inj); !errors.Is(err, faultinject.ErrInjectedCrash) {
+				t.Fatalf("SaveBundle err = %v, want ErrInjectedCrash", err)
+			}
+			path := BundlePath(dir, b.Inst, b.Prog, b.Kind)
+			_, statErr := os.Stat(path)
+			switch {
+			case s.wantPresent && statErr != nil:
+				t.Fatalf("crash at %s: bundle missing, want complete file", s.name)
+			case !s.wantPresent && statErr == nil:
+				t.Fatalf("crash at %s: bundle present, want none", s.name)
+			case s.wantPresent:
+				got, err := LoadBundle(path)
+				if err != nil {
+					t.Fatalf("crash at %s left a torn bundle: %v", s.name, err)
+				}
+				if got.Value != b.Value || got.Inst != b.Inst {
+					t.Fatalf("crash at %s: bundle content mismatch: %+v", s.name, got)
+				}
+			}
+
+			// The crashed write never poisons a later clean one.
+			if _, err := SaveBundle(dir, b, nil); err != nil {
+				t.Fatalf("clean save after crash at %s: %v", s.name, err)
+			}
+			if _, err := LoadBundle(path); err != nil {
+				t.Fatalf("bundle unreadable after clean save: %v", err)
+			}
+		})
+	}
+}

@@ -312,9 +312,18 @@ func Save(dir string, st *State, inj *faultinject.Injector) error {
 	// Injected corruption happens after the digest so the file lands on
 	// disk exactly as bit rot or a torn sector would leave it.
 	inj.MutateBytes(payload)
+	return writeAtomic(dir, FileName, append([]byte(header), payload...), inj)
+}
 
-	tmp := filepath.Join(dir, FileName+".tmp")
-	final := filepath.Join(dir, FileName)
+// writeAtomic lands data as dir/name under the checkpoint write protocol:
+// temp file in the same directory, fsync, rename over the live file, fsync
+// the directory. A crash between any two steps leaves either the old
+// complete file or the new complete file, never a mixture. inj's
+// KindCrashAtStep points (nil in production) kill the write between steps,
+// leaving the filesystem exactly as a process crash there would.
+func writeAtomic(dir, name string, data []byte, inj *faultinject.Injector) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	final := filepath.Join(dir, name)
 	if inj.CrashAt(StepTempWrite) {
 		return faultinject.ErrInjectedCrash
 	}
@@ -322,11 +331,7 @@ func Save(dir string, st *State, inj *faultinject.Injector) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if _, err := f.WriteString(header); err != nil {
-		f.Close()
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if _, err := f.Write(payload); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		return fmt.Errorf("checkpoint: %w", err)
 	}

@@ -232,7 +232,7 @@ func TestBundleRoundTrip(t *testing.T) {
 		Value:    "faultinject: injected panic in unit (1,17)",
 		Stack:    "goroutine 1 [running]:\n...",
 	}
-	path, err := SaveBundle(dir, b)
+	path, err := SaveBundle(dir, b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,198 @@
+// Package dist shards a fuzzing campaign's work units across remote
+// workers over HTTP/JSON, tolerating every failure a network adds —
+// crashed workers, lost responses, duplicated requests, corrupted bytes,
+// a killed coordinator — while producing final results bit-identical to a
+// single-process run at the same seed.
+//
+// The engine's determinism contract is what makes that cheap: a work unit
+// is addressed by (instance, program) coordinates and its result depends
+// only on those coordinates plus the campaign seed, so the coordinator
+// never ships programs or inputs — a lease is two integers, a duplicate
+// submission carries the identical payload as the original, and any worker
+// can re-run any unit after any failure with no coordination beyond "who
+// runs what".
+//
+// # Topology
+//
+// One coordinator owns the campaign state (an engine.DistCampaign) and
+// serves four POST endpoints; N workers each own a persistent executor (an
+// engine.UnitRunner) and pull work:
+//
+//	join      → validate config fingerprint + frontend, get a worker ID
+//	lease     → lease up to K units, deadline now+TTL
+//	heartbeat → renew the lease deadlines; learn of eviction/completion
+//	submit    → deliver one unit's result (folded exactly once)
+//
+// Workers that stop heartbeating are evicted and their leased units
+// reassigned; a unit reassigned too many times is degraded to guarded
+// local execution on the coordinator (the quarantine path, converging to
+// single-process semantics); if the whole fleet dies the coordinator
+// finishes the campaign locally. The coordinator checkpoints through
+// internal/checkpoint, so killing it and restarting with Resume continues
+// from the persisted units — the same file format plain `amulet -resume`
+// reads.
+//
+// # Wire integrity
+//
+// Every request and response body travels in an Envelope carrying an
+// fnv64a digest of the payload; a mismatch is treated as a failed call
+// (the client retries, the server rejects). Submissions additionally
+// digest the serialized unit result itself, so a worker whose payloads
+// disagree with their own digests accumulates strikes and is banned.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"github.com/sith-lab/amulet-go/internal/checkpoint"
+)
+
+// Endpoint paths served by the coordinator.
+const (
+	PathJoin      = "/v1/join"
+	PathLease     = "/v1/lease"
+	PathHeartbeat = "/v1/heartbeat"
+	PathSubmit    = "/v1/submit"
+)
+
+// Envelope wraps every request and response body: Digest is the fnv64a of
+// the Body bytes. Unseal rejects a mismatch, so corruption anywhere in
+// flight surfaces as a failed call instead of a silently wrong payload.
+type Envelope struct {
+	Digest uint64          `json:"digest"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// ErrBadDigest reports an envelope or result payload whose bytes disagree
+// with their digest.
+var ErrBadDigest = errors.New("dist: payload digest mismatch")
+
+// Digest is the wire digest: fnv64a over the exact payload bytes.
+func Digest(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Seal marshals v and wraps it in a digested envelope.
+func Seal(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode: %w", err)
+	}
+	return json.Marshal(Envelope{Digest: Digest(body), Body: body})
+}
+
+// Unseal verifies data's envelope digest and unmarshals the body into v.
+func Unseal(data []byte, v any) error {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("dist: decode envelope: %w", err)
+	}
+	if Digest(env.Body) != env.Digest {
+		return ErrBadDigest
+	}
+	if err := json.Unmarshal(env.Body, v); err != nil {
+		return fmt.Errorf("dist: decode body: %w", err)
+	}
+	return nil
+}
+
+// Unit names one work unit on the wire.
+type Unit struct {
+	Inst int `json:"inst"`
+	Prog int `json:"prog"`
+}
+
+// JoinRequest announces a worker. The coordinator refuses a worker whose
+// campaign configuration fingerprint, frontend or shape disagrees with its
+// own — a mismatched worker would fold structurally wrong results.
+type JoinRequest struct {
+	Worker    string `json:"worker"`
+	ConfigFP  uint64 `json:"config_fp"`
+	Frontend  string `json:"frontend"`
+	Instances int    `json:"instances"`
+	Programs  int    `json:"programs"`
+}
+
+// JoinReply assigns the worker its ID and the coordinator's lease terms.
+type JoinReply struct {
+	WorkerID   int64 `json:"worker_id"`
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	LeaseUnits int   `json:"lease_units"`
+}
+
+// LeaseRequest asks for up to Max units (0 = the coordinator's default).
+type LeaseRequest struct {
+	WorkerID int64 `json:"worker_id"`
+	Max      int   `json:"max"`
+}
+
+// LeaseReply grants units. Done means the campaign has nothing left to
+// schedule; a worker holding no units should exit.
+type LeaseReply struct {
+	Units []Unit `json:"units,omitempty"`
+	Done  bool   `json:"done"`
+}
+
+// HeartbeatRequest renews the worker's lease deadlines. Retries is the
+// worker transport's cumulative retry count, reported so the coordinator's
+// robustness counters cover client-side recovery too.
+type HeartbeatRequest struct {
+	WorkerID int64 `json:"worker_id"`
+	Retries  int   `json:"retries"`
+}
+
+// HeartbeatReply: OK=false tells the worker it has been evicted (it should
+// rejoin); Done tells it the campaign is complete.
+type HeartbeatReply struct {
+	OK   bool `json:"ok"`
+	Done bool `json:"done"`
+}
+
+// SubmitRequest delivers one unit's result. Result is the raw JSON of the
+// checkpoint.ResultRec and ResultDigest its fnv64a — digesting the exact
+// bytes (rather than re-marshalling server-side) makes verification
+// independent of encoder details. Retries mirrors HeartbeatRequest's.
+type SubmitRequest struct {
+	WorkerID     int64           `json:"worker_id"`
+	Inst         int             `json:"inst"`
+	Prog         int             `json:"prog"`
+	Draws        uint64          `json:"draws"`
+	ResultDigest uint64          `json:"result_digest"`
+	Result       json.RawMessage `json:"result"`
+	Retries      int             `json:"retries"`
+}
+
+// EncodeResult serializes a unit result for a SubmitRequest.
+func EncodeResult(rec checkpoint.ResultRec) (raw json.RawMessage, digest uint64, err error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: encode result: %w", err)
+	}
+	return b, Digest(b), nil
+}
+
+// DecodeResult verifies a SubmitRequest's result payload against its
+// digest and deserializes it. A mismatch is ErrBadDigest — the strike that
+// gets a worker banned.
+func DecodeResult(req *SubmitRequest) (checkpoint.ResultRec, error) {
+	if Digest(req.Result) != req.ResultDigest {
+		return checkpoint.ResultRec{}, ErrBadDigest
+	}
+	var rec checkpoint.ResultRec
+	if err := json.Unmarshal(req.Result, &rec); err != nil {
+		return checkpoint.ResultRec{}, fmt.Errorf("dist: decode result: %w", err)
+	}
+	return rec, nil
+}
+
+// SubmitReply: Folded=false means the unit was already done (a duplicate —
+// harmless, dropped). Done as in LeaseReply.
+type SubmitReply struct {
+	Folded bool `json:"folded"`
+	Done   bool `json:"done"`
+}

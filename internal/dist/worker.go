@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"github.com/sith-lab/amulet-go/internal/engine"
+)
+
+// WorkerConfig configures a campaign worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL ("http://host:port").
+	Coordinator string
+	// Name identifies the worker in coordinator logs and seeds its retry
+	// jitter; it carries no campaign semantics.
+	Name string
+	// Campaign must match the coordinator's campaign exactly — the join
+	// handshake compares config fingerprints and refuses mismatches.
+	// Campaign.Inject (nil in production) drives both unit-level faults
+	// (injected panics kill the worker, exercising reassignment) and
+	// transport faults (drops, delays, severs) on this worker's client.
+	Campaign engine.Config
+	// LeaseMax caps units per lease request (0 = coordinator's default).
+	LeaseMax int
+	// Rejoins caps how many times an evicted worker rejoins for a fresh
+	// identity before giving up (default 3).
+	Rejoins int
+	// Log receives worker events; nil discards them.
+	Log *log.Logger
+}
+
+// errCampaignDone threads "the campaign is complete" from the heartbeat
+// goroutine back to the serve loop; Run maps it to a clean exit.
+var errCampaignDone = errors.New("dist: campaign complete")
+
+// Worker is the executing side of a distributed campaign: it joins a
+// coordinator, leases units, runs them on a persistent executor, and
+// submits results — heartbeating throughout so its leases survive long
+// units. A worker is deliberately stateless between units: everything it
+// knows is (campaign config, unit coordinates), so killing one at any
+// instant loses nothing but time.
+type Worker struct {
+	cfg    WorkerConfig
+	runner *engine.UnitRunner
+	client *Client
+	units  atomic.Int64
+}
+
+// NewWorker builds a worker and boots its executor (the boot workload is
+// paid here, once, not per unit).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Rejoins <= 0 {
+		cfg.Rejoins = 3
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	runner, err := engine.NewUnitRunner(cfg.Campaign)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
+	return &Worker{
+		cfg:    cfg,
+		runner: runner,
+		client: NewClient(cfg.Coordinator, cfg.Campaign.Inject, int64(h.Sum64())),
+	}, nil
+}
+
+// UnitsRun reports how many units this worker has submitted.
+func (w *Worker) UnitsRun() int { return int(w.units.Load()) }
+
+// Run executes the worker loop until the campaign completes (nil), the
+// context is cancelled (ctx.Err()), or the coordinator becomes
+// unreachable beyond the retry budget (the transport error).
+//
+// Injected unit panics are NOT recovered: a worker that hits one dies,
+// exactly like a real simulator bug would kill a real worker process —
+// the coordinator's lease expiry reassigns the unit, which is the
+// mechanism under test.
+func (w *Worker) Run(ctx context.Context) error {
+	inst, progs := w.cfg.Campaign.Campaign.Instances, w.cfg.Campaign.Campaign.Base.Programs
+	for rejoin := 0; ; rejoin++ {
+		if rejoin > w.cfg.Rejoins {
+			return fmt.Errorf("dist: worker %s: evicted %d times; giving up", w.cfg.Name, rejoin-1)
+		}
+		jr, err := w.client.Join(ctx, &JoinRequest{
+			Worker:    w.cfg.Name,
+			ConfigFP:  w.runner.ConfigFP(),
+			Frontend:  w.runner.FrontendName(),
+			Instances: inst,
+			Programs:  progs,
+		})
+		if err != nil {
+			return err
+		}
+		w.cfg.Log.Printf("dist: worker %s joined as %d", w.cfg.Name, jr.WorkerID)
+		err = w.serve(ctx, jr)
+		if errors.Is(err, errCampaignDone) {
+			return nil
+		}
+		if !errors.Is(err, ErrEvicted) {
+			return err
+		}
+		// Evicted (a heartbeat arrived too late, or the coordinator
+		// restarted and forgot us): rejoin under a fresh identity. Any
+		// results already submitted stay folded; re-leased units we
+		// already ran will fold as duplicates.
+		w.cfg.Log.Printf("dist: worker %s evicted; rejoining", w.cfg.Name)
+	}
+}
+
+// serve is one join's worth of work: lease-run-submit until done or the
+// identity dies.
+func (w *Worker) serve(ctx context.Context, jr *JoinReply) error {
+	ttl := time.Duration(jr.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+
+	// Heartbeat in the background so leases survive units longer than the
+	// TTL. An evicted or completed verdict cancels the serve loop.
+	hbCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	go func() {
+		tick := ttl / 3
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-ticker.C:
+			}
+			hr, err := w.client.Heartbeat(hbCtx, &HeartbeatRequest{
+				WorkerID: jr.WorkerID, Retries: w.client.Retries(),
+			})
+			switch {
+			case err != nil:
+				if hbCtx.Err() == nil {
+					cancel(err)
+				}
+				return
+			case !hr.OK:
+				cancel(ErrEvicted)
+				return
+			case hr.Done:
+				cancel(errCampaignDone)
+				return
+			}
+		}
+	}()
+
+	for {
+		if err := hbCtx.Err(); err != nil {
+			return context.Cause(hbCtx)
+		}
+		lr, err := w.client.Lease(hbCtx, &LeaseRequest{WorkerID: jr.WorkerID, Max: w.cfg.LeaseMax})
+		if err != nil {
+			return unwrapCause(hbCtx, err)
+		}
+		if len(lr.Units) == 0 {
+			if lr.Done {
+				return nil
+			}
+			// Nothing assignable right now (other workers hold the
+			// remaining leases); poll again within the TTL.
+			select {
+			case <-hbCtx.Done():
+				return context.Cause(hbCtx)
+			case <-time.After(ttl / 4):
+			}
+			continue
+		}
+		for _, u := range lr.Units {
+			rec, draws, err := w.runner.Run(hbCtx, engine.UnitID{Inst: u.Inst, Prog: u.Prog})
+			if err != nil {
+				return unwrapCause(hbCtx, err)
+			}
+			raw, digest, err := EncodeResult(rec)
+			if err != nil {
+				return err
+			}
+			sr, err := w.client.Submit(hbCtx, &SubmitRequest{
+				WorkerID:     jr.WorkerID,
+				Inst:         u.Inst,
+				Prog:         u.Prog,
+				Draws:        draws,
+				ResultDigest: digest,
+				Result:       raw,
+				Retries:      w.client.Retries(),
+			})
+			if err != nil {
+				return unwrapCause(hbCtx, err)
+			}
+			w.units.Add(1)
+			if !sr.Folded {
+				w.cfg.Log.Printf("dist: worker %s: unit (%d,%d) was a duplicate", w.cfg.Name, u.Inst, u.Prog)
+			}
+			if sr.Done {
+				// This was the campaign's last unit (any still-leased
+				// siblings are duplicates someone else folded): exit before
+				// the coordinator's server goes away.
+				return errCampaignDone
+			}
+		}
+	}
+}
+
+// unwrapCause maps a call error caused by the heartbeat goroutine's
+// cancellation back to its cause (eviction, heartbeat transport death), so
+// Run's rejoin logic sees ErrEvicted rather than a bare context error.
+func unwrapCause(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			return cause
+		}
+		return ctx.Err()
+	}
+	return err
+}

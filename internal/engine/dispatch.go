@@ -1,0 +1,346 @@
+// Distributed dispatch: the exported seams internal/dist drives. The
+// coordinator owns a DistCampaign — the same campaign bookkeeping
+// RunCampaign uses, folded through the same record/mergeInstance path, so a
+// distributed run is bit-identical to a single-process run at the same
+// seed. Workers own a UnitRunner — a persistent executor that runs
+// arbitrary units of the campaign by coordinates, exactly as a pooled
+// engine worker would.
+//
+// Distributed campaigns are random-strategy only: the corpus strategy's
+// epochs are cross-unit barriers (epoch N's generation depends on epoch
+// N−1's admitted corpus), and distributing that lockstep is future work.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/sith-lab/amulet-go/internal/checkpoint"
+	"github.com/sith-lab/amulet-go/internal/contract"
+	"github.com/sith-lab/amulet-go/internal/executor"
+	"github.com/sith-lab/amulet-go/internal/fuzzer"
+	"github.com/sith-lab/amulet-go/internal/generator"
+)
+
+// UnitID names one work unit by its deterministic coordinates.
+type UnitID struct {
+	Inst, Prog int
+}
+
+// ErrDistCorpus rejects distributed corpus-strategy campaigns.
+var ErrDistCorpus = errors.New("engine: distributed campaigns support the random strategy only (corpus epochs are cross-unit barriers)")
+
+// DistCampaign is the coordinator's half of a distributed campaign: it
+// tracks which units are done, folds remote results exactly once per unit,
+// runs units locally when the remote fleet degrades, and persists/restores
+// the same checkpoint format single-process campaigns use — so a lost
+// coordinator resumes from its own checkpoint, and a distributed checkpoint
+// even resumes under the single-process engine (and vice versa).
+//
+// All methods are safe for concurrent use; results fold in (instance,
+// program) order at Result() time regardless of submission order, which is
+// what makes the distributed outcome bit-identical to the single-process
+// one.
+type DistCampaign struct {
+	mu        sync.Mutex
+	c         *campaign
+	localPool *executor.Pool
+}
+
+// NewDistCampaign validates cfg and builds the coordinator-side campaign
+// state. With cfg.Resume set, progress is restored from cfg.CheckpointDir
+// (a missing checkpoint is a fresh start; a corrupt or mismatched one is an
+// error), exactly as RunCampaign resumes.
+func NewDistCampaign(cfg Config) (*DistCampaign, error) {
+	c, corpus, err := newCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if corpus {
+		return nil, ErrDistCorpus
+	}
+	if cfg.Resume {
+		st, err := checkpoint.Load(c.ckptDir)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+		case err != nil:
+			return nil, err
+		default:
+			if err := c.restore(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &DistCampaign{c: c}, nil
+}
+
+// ConfigFP is the campaign's configuration fingerprint — the identity the
+// join handshake, submissions, and checkpoints are bound to.
+func (d *DistCampaign) ConfigFP() uint64 { return d.c.configFP }
+
+// FrontendName names the campaign's ISA frontend.
+func (d *DistCampaign) FrontendName() string { return d.c.frontendName }
+
+// Shape returns the campaign's unit grid.
+func (d *DistCampaign) Shape() (instances, programs int) {
+	return d.c.instances, d.c.programs
+}
+
+// Pending returns the units still needing execution, in (instance, program)
+// order: not done, and — under StopOnFirstViolation — not beyond the
+// instance's current cut (a violation at program p makes every unit q > p
+// of that instance dead work; the merge drops their results anyway).
+func (d *DistCampaign) Pending() []UnitID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []UnitID
+	for i := 0; i < d.c.instances; i++ {
+		cut := d.c.stopAt[i].Load()
+		for p := 0; p < d.c.programs; p++ {
+			if d.c.done[i][p] || int64(p) > cut {
+				continue
+			}
+			out = append(out, UnitID{Inst: i, Prog: p})
+		}
+	}
+	return out
+}
+
+// Complete reports whether every unit is done or beyond its instance's
+// stop-on-first cut — the campaign has nothing left to schedule.
+func (d *DistCampaign) Complete() bool { return len(d.Pending()) == 0 }
+
+// Done reports whether unit u has a final folded result.
+func (d *DistCampaign) Done(u UnitID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return u.Inst >= 0 && u.Inst < d.c.instances && u.Prog >= 0 && u.Prog < d.c.programs &&
+		d.c.done[u.Inst][u.Prog]
+}
+
+// RecordRemote folds one remotely-executed unit result into the campaign,
+// exactly once per unit: a duplicate (late lease, retransmitted submit)
+// returns folded=false and changes nothing — first fold wins, and since
+// units are seed-deterministic, any two honest submissions for the same
+// unit carry identical payloads. Out-of-bounds coordinates are an error
+// (a malfunctioning or malicious worker, never folded).
+func (d *DistCampaign) RecordRemote(u UnitID, rec checkpoint.ResultRec, draws uint64) (folded bool, err error) {
+	if u.Inst < 0 || u.Inst >= d.c.instances || u.Prog < 0 || u.Prog >= d.c.programs {
+		return false, fmt.Errorf("engine: remote result for unit (%d,%d) out of campaign bounds %dx%d",
+			u.Inst, u.Prog, d.c.instances, d.c.programs)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.c.done[u.Inst][u.Prog] {
+		return false, nil
+	}
+	res := rec.Decode()
+	d.c.record(unit{inst: u.Inst, prog: u.Prog}, unitOutcome{res: res, draws: draws, done: true})
+	d.noteViolationsLocked(u, res)
+	return true, nil
+}
+
+// noteViolationsLocked advances the instance's stop-on-first cut after a
+// violating result, mirroring runWorker's CAS (the lock makes a plain
+// compare sufficient here, but the atomic keeps RunLocal's reads safe).
+func (d *DistCampaign) noteViolationsLocked(u UnitID, res *fuzzer.Result) {
+	if !d.c.base.StopOnFirstViolation || res == nil || len(res.Violations) == 0 {
+		return
+	}
+	for {
+		cur := d.c.stopAt[u.Inst].Load()
+		if int64(u.Prog) >= cur || d.c.stopAt[u.Inst].CompareAndSwap(cur, int64(u.Prog)) {
+			return
+		}
+	}
+}
+
+// RunLocal executes the given units in-process, through the same
+// fault-isolation layer engine workers use (panic quarantine, optional
+// watchdog), folding their results into the campaign. It is the
+// coordinator's graceful-degradation path: already-done units are skipped,
+// so racing a late remote submission is harmless. The executor pool (one
+// executor, boot paid once) is created on first use and reused across
+// calls.
+func (d *DistCampaign) RunLocal(ctx context.Context, units []UnitID) error {
+	d.mu.Lock()
+	if d.localPool == nil {
+		pool, err := executor.NewPool(d.c.base.Exec, d.c.base.DefenseFactory, 1)
+		if err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.localPool = pool
+	}
+	pool := d.localPool
+	d.mu.Unlock()
+
+	exec, err := pool.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { pool.Release(exec) }()
+	tp := &contract.TracePool{}
+	var errs []error
+	for _, id := range units {
+		if ctx.Err() != nil {
+			break
+		}
+		if d.Done(id) || int64(id.Prog) > d.c.stopAt[id.Inst].Load() {
+			continue
+		}
+		u := unit{
+			inst: id.Inst,
+			prog: id.Prog,
+			seed: fuzzer.UnitSeed(fuzzer.InstanceSeed(d.c.base.Seed, id.Inst), id.Prog),
+		}
+		out := d.c.runUnitIsolated(ctx, exec, generator.Random{}, u, tp)
+		if out.poison {
+			pool.Discard(exec)
+			tp = &contract.TracePool{}
+			var aerr error
+			if exec, aerr = pool.Acquire(ctx); aerr != nil {
+				d.recordLocal(u, out)
+				errs = append(errs, aerr)
+				break
+			}
+		}
+		d.recordLocal(u, out)
+		if out.err != nil {
+			var qe *QuarantineError
+			if errors.As(out.err, &qe) {
+				continue // isolated and counted, like any engine worker
+			}
+			if errors.Is(out.err, ctx.Err()) && ctx.Err() != nil {
+				break
+			}
+			errs = append(errs, fmt.Errorf("engine: local unit (%d,%d): %w", u.inst, u.prog, out.err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// recordLocal folds a locally-run unit outcome under the campaign lock.
+func (d *DistCampaign) recordLocal(u unit, out unitOutcome) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.c.done[u.inst][u.prog] {
+		return // a remote submission won the race; keep the first fold
+	}
+	d.c.record(u, out)
+	if out.res != nil {
+		d.noteViolationsLocked(UnitID{Inst: u.inst, Prog: u.prog}, out.res)
+	}
+}
+
+// SaveCheckpoint persists the campaign's progress through the checkpoint
+// package's atomic protocol. A no-op without a checkpoint directory. The
+// saved state is interchangeable with a single-process campaign's: a lost
+// coordinator resumes from it, and so does plain `amulet -resume`.
+func (d *DistCampaign) SaveCheckpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	epochsDone := 0
+	if d.completeLocked() {
+		epochsDone = d.c.epochs
+	}
+	return d.c.saveCheckpoint(epochsDone)
+}
+
+func (d *DistCampaign) completeLocked() bool {
+	for i := 0; i < d.c.instances; i++ {
+		cut := d.c.stopAt[i].Load()
+		for p := 0; p < d.c.programs; p++ {
+			if !d.c.done[i][p] && int64(p) <= cut {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Result folds the campaign outcome in (instance, program) order — the
+// same mergeInstance path RunCampaign returns through, so fingerprints are
+// directly comparable with single-process runs.
+func (d *DistCampaign) Result() *fuzzer.CampaignResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := &fuzzer.CampaignResult{Instances: make([]*fuzzer.Result, d.c.instances)}
+	for i := 0; i < d.c.instances; i++ {
+		out.Instances[i] = mergeInstance(d.c.results[i], d.c.base.StopOnFirstViolation)
+	}
+	out.Elapsed = time.Since(d.c.start)
+	out.Aggregate()
+	return out
+}
+
+// UnitRunner executes individual units of a campaign, standalone, on a
+// persistent executor — the worker's half of a distributed campaign. The
+// boot workload is paid once; every Run starts from the same post-boot
+// context a pooled engine worker restores, so the unit result depends only
+// on the unit coordinates and the campaign seed, never on which worker ran
+// it or in what order.
+type UnitRunner struct {
+	c    *campaign
+	pool *executor.Pool
+	exec *executor.Executor
+	tp   *contract.TracePool
+}
+
+// NewUnitRunner builds a runner for cfg's campaign. The configuration must
+// match the coordinator's exactly; ConfigFP is what the join handshake
+// compares.
+func NewUnitRunner(cfg Config) (*UnitRunner, error) {
+	c, corpus, err := newCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if corpus {
+		return nil, ErrDistCorpus
+	}
+	pool, err := executor.NewPool(c.base.Exec, c.base.DefenseFactory, 1)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := pool.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return &UnitRunner{c: c, pool: pool, exec: exec, tp: &contract.TracePool{}}, nil
+}
+
+// ConfigFP is the campaign configuration fingerprint the runner was built
+// for.
+func (r *UnitRunner) ConfigFP() uint64 { return r.c.configFP }
+
+// FrontendName names the campaign's ISA frontend.
+func (r *UnitRunner) FrontendName() string { return r.c.frontendName }
+
+// Run executes unit u and returns its serialized result and PRNG draw
+// count. Panics are NOT swallowed here: a simulator panic must kill the
+// worker process (its lease lapses and the unit is re-run elsewhere, or
+// quarantined by the coordinator's guarded local path after the
+// reassignment cap) rather than silently submitting a degraded result —
+// that is what keeps a distributed campaign's violation set bit-identical
+// to a single-process run's.
+func (r *UnitRunner) Run(ctx context.Context, id UnitID) (checkpoint.ResultRec, uint64, error) {
+	if id.Inst < 0 || id.Inst >= r.c.instances || id.Prog < 0 || id.Prog >= r.c.programs {
+		return checkpoint.ResultRec{}, 0, fmt.Errorf("engine: unit (%d,%d) out of campaign bounds %dx%d",
+			id.Inst, id.Prog, r.c.instances, r.c.programs)
+	}
+	u := unit{
+		inst: id.Inst,
+		prog: id.Prog,
+		seed: fuzzer.UnitSeed(fuzzer.InstanceSeed(r.c.base.Seed, id.Inst), id.Prog),
+	}
+	r.c.inject.UnitStart(u.inst, u.prog)
+	res, _, draws, err := r.c.runUnit(ctx, r.exec, generator.Random{}, u, r.tp)
+	if err != nil {
+		return checkpoint.ResultRec{}, 0, err
+	}
+	return checkpoint.EncodeResult(res), draws, nil
+}

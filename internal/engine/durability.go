@@ -267,7 +267,7 @@ func (c *campaign) quarantine(u unit, kind, value, stack string) {
 		Kind:     kind,
 		Value:    value,
 		Stack:    stack,
-	})
+	}, c.inject)
 }
 
 // ReplayUnit re-runs the work unit a quarantine bundle describes,

@@ -214,82 +214,15 @@ type campaign struct {
 // returned alongside the context's error. Unit failures likewise don't
 // discard the campaign: errors are joined and partial results returned.
 func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error) {
-	if cfg.Campaign.Instances < 1 {
-		return nil, fmt.Errorf("engine: campaign needs at least one instance")
-	}
-	if cfg.Resume && cfg.CheckpointDir == "" {
-		return nil, fmt.Errorf("engine: Resume requires CheckpointDir")
-	}
-	base := cfg.Campaign.Base
-	if err := base.Validate(); err != nil {
+	c, corpus, err := newCampaign(cfg)
+	if err != nil {
 		return nil, err
 	}
-	corpus := false
-	switch cfg.Strategy {
-	case "", StrategyRandom:
-		if cfg.Epochs > 1 {
-			return nil, fmt.Errorf("engine: epochs require -strategy=corpus")
-		}
-	case StrategyCorpus:
-		corpus = true
-		base.Exec.Coverage = true
-	default:
-		return nil, fmt.Errorf("engine: unknown strategy %q (%s or %s)",
-			cfg.Strategy, StrategyRandom, StrategyCorpus)
-	}
-
-	c := &campaign{
-		base:        base,
-		instances:   cfg.Campaign.Instances,
-		programs:    base.Programs,
-		start:       time.Now(),
-		ckptDir:     cfg.CheckpointDir,
-		inject:      cfg.Inject,
-		unitTimeout: cfg.UnitTimeout,
-	}
-	c.strategyName = cfg.Strategy
-	if c.strategyName == "" {
-		c.strategyName = StrategyRandom
-	}
-	c.frontendName = base.ResolvedFrontend().Name()
-	c.epochs = resolveEpochs(cfg, c.programs)
-	if corpus {
-		c.cover = uarch.NewCoverage()
-		c.progs = make([][]isa.SourceProgram, c.instances)
-		for i := range c.progs {
-			c.progs[i] = make([]isa.SourceProgram, c.programs)
-		}
-	}
-
-	c.workers = cfg.Workers
-	if c.workers <= 0 {
-		c.workers = runtime.GOMAXPROCS(0)
-	}
-	if n := c.instances * c.programs; c.workers > n {
-		c.workers = n
-	}
-	c.stopAt = make([]atomic.Int64, c.instances)
-	for i := range c.stopAt {
-		c.stopAt[i].Store(math.MaxInt64)
-	}
-	pool, err := executor.NewPool(base.Exec, base.DefenseFactory, c.workers)
+	pool, err := executor.NewPool(c.base.Exec, c.base.DefenseFactory, c.workers)
 	if err != nil {
 		return nil, err
 	}
 	c.pool = pool
-	c.results = make([][]*fuzzer.Result, c.instances)
-	c.done = make([][]bool, c.instances)
-	c.draws = make([][]uint64, c.instances)
-	for i := range c.results {
-		c.results[i] = make([]*fuzzer.Result, c.programs)
-		c.done[i] = make([]bool, c.programs)
-		c.draws[i] = make([]uint64, c.programs)
-	}
-
-	if c.ckptDir != "" {
-		c.defenseName = base.DefenseFactory().Name()
-		c.configFP = campaignFingerprint(base, c.defenseName, c.frontendName, c.instances, c.epochs, c.strategyName)
-	}
 	startEpoch := 0
 	if cfg.Resume {
 		st, err := checkpoint.Load(c.ckptDir)
@@ -339,11 +272,89 @@ func RunCampaign(ctx context.Context, cfg Config) (*fuzzer.CampaignResult, error
 
 	out := &fuzzer.CampaignResult{Instances: make([]*fuzzer.Result, c.instances)}
 	for i := 0; i < c.instances; i++ {
-		out.Instances[i] = mergeInstance(c.results[i], base.StopOnFirstViolation)
+		out.Instances[i] = mergeInstance(c.results[i], c.base.StopOnFirstViolation)
 	}
 	out.Elapsed = time.Since(c.start)
 	out.Aggregate()
 	return out, errors.Join(append(errs, ctx.Err())...)
+}
+
+// newCampaign validates cfg and builds the campaign bookkeeping shared by
+// the in-process scheduler (RunCampaign) and the distributed dispatch layer
+// (DistCampaign, UnitRunner): per-unit result/progress grids, stop-on-first
+// cuts, strategy and epoch resolution, and the campaign identity
+// fingerprint. It creates no executor pool and runs nothing.
+func newCampaign(cfg Config) (*campaign, bool, error) {
+	if cfg.Campaign.Instances < 1 {
+		return nil, false, fmt.Errorf("engine: campaign needs at least one instance")
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, false, fmt.Errorf("engine: Resume requires CheckpointDir")
+	}
+	base := cfg.Campaign.Base
+	if err := base.Validate(); err != nil {
+		return nil, false, err
+	}
+	corpus := false
+	switch cfg.Strategy {
+	case "", StrategyRandom:
+		if cfg.Epochs > 1 {
+			return nil, false, fmt.Errorf("engine: epochs require -strategy=corpus")
+		}
+	case StrategyCorpus:
+		corpus = true
+		base.Exec.Coverage = true
+	default:
+		return nil, false, fmt.Errorf("engine: unknown strategy %q (%s or %s)",
+			cfg.Strategy, StrategyRandom, StrategyCorpus)
+	}
+
+	c := &campaign{
+		base:        base,
+		instances:   cfg.Campaign.Instances,
+		programs:    base.Programs,
+		start:       time.Now(),
+		ckptDir:     cfg.CheckpointDir,
+		inject:      cfg.Inject,
+		unitTimeout: cfg.UnitTimeout,
+	}
+	c.strategyName = cfg.Strategy
+	if c.strategyName == "" {
+		c.strategyName = StrategyRandom
+	}
+	c.frontendName = base.ResolvedFrontend().Name()
+	c.epochs = resolveEpochs(cfg, c.programs)
+	if corpus {
+		c.cover = uarch.NewCoverage()
+		c.progs = make([][]isa.SourceProgram, c.instances)
+		for i := range c.progs {
+			c.progs[i] = make([]isa.SourceProgram, c.programs)
+		}
+	}
+
+	c.workers = cfg.Workers
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	if n := c.instances * c.programs; c.workers > n {
+		c.workers = n
+	}
+	c.stopAt = make([]atomic.Int64, c.instances)
+	for i := range c.stopAt {
+		c.stopAt[i].Store(math.MaxInt64)
+	}
+	c.results = make([][]*fuzzer.Result, c.instances)
+	c.done = make([][]bool, c.instances)
+	c.draws = make([][]uint64, c.instances)
+	for i := range c.results {
+		c.results[i] = make([]*fuzzer.Result, c.programs)
+		c.done[i] = make([]bool, c.programs)
+		c.draws[i] = make([]uint64, c.programs)
+	}
+
+	c.defenseName = base.DefenseFactory().Name()
+	c.configFP = campaignFingerprint(base, c.defenseName, c.frontendName, c.instances, c.epochs, c.strategyName)
+	return c, corpus, nil
 }
 
 // resolveEpochs resolves Config.Epochs exactly as RunCampaign does:

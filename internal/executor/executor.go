@@ -126,6 +126,22 @@ type Metrics struct {
 	// summary and its resumable exit path.
 	Quarantined int
 	TimedOut    int
+
+	// Distributed-campaign robustness counters (internal/dist). All zero on
+	// a single-process run. Retries counts RPC attempts beyond the first
+	// (client-side backoff retries, reported by workers on submit);
+	// Evictions counts workers the coordinator evicted for lapsed
+	// heartbeats or digest-invalid submissions; Reassigned counts units
+	// whose lease expired or was revoked and that went back to the pending
+	// pool; DuplicatesDropped counts unit results that arrived for
+	// already-folded units (late or retransmitted leases) and were dropped
+	// by the exactly-once fold; DegradedLocal counts coordinator
+	// transitions to local execution after the remote fleet died.
+	Retries           int
+	Evictions         int
+	Reassigned        int
+	DuplicatesDropped int
+	DegradedLocal     int
 }
 
 // Add accumulates other into m.
@@ -141,6 +157,11 @@ func (m *Metrics) Add(other Metrics) {
 	m.Truncations += other.Truncations
 	m.Quarantined += other.Quarantined
 	m.TimedOut += other.TimedOut
+	m.Retries += other.Retries
+	m.Evictions += other.Evictions
+	m.Reassigned += other.Reassigned
+	m.DuplicatesDropped += other.DuplicatesDropped
+	m.DegradedLocal += other.DegradedLocal
 }
 
 // Minus returns m - other, for snapshot-diff accounting of a shared
@@ -159,6 +180,12 @@ func (m Metrics) Minus(other Metrics) Metrics {
 		Truncations:  m.Truncations - other.Truncations,
 		Quarantined:  m.Quarantined - other.Quarantined,
 		TimedOut:     m.TimedOut - other.TimedOut,
+
+		Retries:           m.Retries - other.Retries,
+		Evictions:         m.Evictions - other.Evictions,
+		Reassigned:        m.Reassigned - other.Reassigned,
+		DuplicatesDropped: m.DuplicatesDropped - other.DuplicatesDropped,
+		DegradedLocal:     m.DegradedLocal - other.DegradedLocal,
 	}
 }
 

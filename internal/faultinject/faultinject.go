@@ -40,6 +40,28 @@ const (
 	// self-digest is computed, so the file lands on disk corrupted the way
 	// a torn write or bit rot would corrupt it.
 	KindFlipByte
+	// KindDropRPC performs RPC A (the injector-local call sequence number,
+	// first call = 1) but discards its response, modelling a response lost
+	// in flight *after* the server processed the request — the caller
+	// retries, and a retried mutation is exactly how duplicate submissions
+	// reach a coordinator.
+	KindDropRPC
+	// KindDelayRPC delays RPC A's response by RPCDelay, modelling a slow
+	// link or a GC-paused peer; lease deadlines and heartbeat budgets must
+	// absorb it.
+	KindDelayRPC
+	// KindDupRPC sends RPC A twice and keeps the second response, modelling
+	// a duplicated request (retransmission); the server must fold the
+	// mutation exactly once.
+	KindDupRPC
+	// KindCorruptRPC flips the low bit of byte B of RPC A's response body
+	// after receipt, modelling in-flight corruption the payload digest must
+	// catch; the caller treats it as a failed call and retries.
+	KindCorruptRPC
+	// KindSeverRPC is the Point recorded when an ArmSever rule fires: the
+	// network is gone from that call on, every RPC fails without being
+	// sent, and the peer sees the silence as a lapsed heartbeat.
+	KindSeverRPC
 )
 
 func (k Kind) String() string {
@@ -52,9 +74,26 @@ func (k Kind) String() string {
 		return "crash-at-step"
 	case KindFlipByte:
 		return "flip-byte"
+	case KindDropRPC:
+		return "drop-rpc"
+	case KindDelayRPC:
+		return "delay-rpc"
+	case KindDupRPC:
+		return "dup-rpc"
+	case KindCorruptRPC:
+		return "corrupt-rpc"
+	case KindSeverRPC:
+		return "sever-rpc"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
+
+// Any is the wildcard coordinate: a point armed with A=Any (and/or B=Any)
+// fires on the first matching event regardless of that coordinate. The
+// distributed worker tests use it to panic a worker on whatever unit its
+// lease happens to hand it — which unit that is depends on scheduling, but
+// the determinism contract makes the campaign outcome identical either way.
+const Any = -1
 
 // Point is one armed injection point.
 type Point struct {
@@ -88,17 +127,32 @@ type Injector struct {
 	// HangDuration is how long a KindHangInUnit point blocks (default 2s —
 	// long enough for any sane watchdog budget to expire first).
 	HangDuration time.Duration
+	// RPCDelay is how long a KindDelayRPC point stalls a response (default
+	// 100ms — visible to tests, well inside any sane lease deadline).
+	RPCDelay time.Duration
 
 	// cancelAfter, when positive, counts UnitStart calls down and invokes
 	// cancel when it reaches zero — the deterministic "kill the campaign
 	// after N units have started" used by the kill-and-resume sweep.
 	cancelAfter int
 	cancel      func()
+
+	// RPC-transport state: rpcSeq counts RPC() calls; severAfter > 0 makes
+	// every call past that sequence number fail unsent (the network is
+	// gone); dropEvery > 0 drops every dropEvery-th response — the
+	// "lossy link" rule the CI smoke arms on a whole worker.
+	rpcSeq     int
+	severAfter int
+	dropEvery  int
 }
 
 // New returns an empty injector.
 func New() *Injector {
-	return &Injector{armed: map[Point]int{}, HangDuration: 2 * time.Second}
+	return &Injector{
+		armed:        map[Point]int{},
+		HangDuration: 2 * time.Second,
+		RPCDelay:     100 * time.Millisecond,
+	}
 }
 
 // Arm arms point (kind, a, b) to fire exactly once.
@@ -120,6 +174,26 @@ func (i *Injector) ArmCancel(afterUnits int, cancel func()) {
 	defer i.mu.Unlock()
 	i.cancelAfter = afterUnits
 	i.cancel = cancel
+}
+
+// ArmSever severs the injector's RPC transport after afterRPCs calls: every
+// later call fails without being sent, exactly as if the worker's network
+// cable were pulled mid-campaign. The peer observes lapsed heartbeats and
+// must evict the worker and reassign its leased units.
+func (i *Injector) ArmSever(afterRPCs int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.severAfter = afterRPCs
+}
+
+// ArmDropEvery drops every n-th RPC response on the injector's transport —
+// a deterministically lossy link. The caller's retry/backoff layer must
+// absorb it; mutating calls that were processed before the response dropped
+// surface as duplicate submissions the server folds exactly once.
+func (i *Injector) ArmDropEvery(n int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.dropEvery = n
 }
 
 // Fired returns the points that have fired, in fire order.
@@ -164,12 +238,96 @@ func (i *Injector) UnitStart(inst, prog int) {
 		}
 	}
 	i.mu.Unlock()
-	if i.fire(Point{KindPanicInUnit, inst, prog}) {
+	if i.fire(Point{KindPanicInUnit, inst, prog}) || i.fire(Point{KindPanicInUnit, Any, Any}) {
 		panic(InjectedPanic{Inst: inst, Prog: prog})
 	}
-	if i.fire(Point{KindHangInUnit, inst, prog}) {
+	if i.fire(Point{KindHangInUnit, inst, prog}) || i.fire(Point{KindHangInUnit, Any, Any}) {
 		time.Sleep(i.HangDuration)
 	}
+}
+
+// RPCFault is the verdict of one RPC() call: what the armed network faults
+// do to this call. The zero value (plus Corrupt=false) is a clean call.
+type RPCFault struct {
+	// Seq is this call's sequence number on the injector's transport
+	// (first call = 1); diagnostics only.
+	Seq int
+	// Severed: the network is gone — fail without sending the request.
+	Severed bool
+	// Drop: perform the RPC, then discard the response and report failure.
+	// The server side has processed the request; the caller's retry makes
+	// the mutation arrive twice.
+	Drop bool
+	// Dup: send the request twice and keep the second response.
+	Dup bool
+	// Delay: stall this long after the response arrives.
+	Delay time.Duration
+	// Corrupt: flip the low bit of response byte CorruptByte (clamped into
+	// the body by the transport) after receipt.
+	Corrupt     bool
+	CorruptByte int
+}
+
+// Clean reports whether the call proceeds unmolested.
+func (f RPCFault) Clean() bool {
+	return !f.Severed && !f.Drop && !f.Dup && !f.Corrupt && f.Delay == 0
+}
+
+// RPC is the network transport's per-call hook: it advances the injector's
+// RPC sequence number and returns the faults armed for this call. A nil
+// injector returns the clean verdict without any bookkeeping — production
+// transports pay one nil check per call.
+func (i *Injector) RPC() RPCFault {
+	if i == nil {
+		return RPCFault{}
+	}
+	i.mu.Lock()
+	i.rpcSeq++
+	seq := i.rpcSeq
+	severed := i.severAfter > 0 && seq > i.severAfter
+	dropRule := i.dropEvery > 0 && seq%i.dropEvery == 0
+	delay := i.RPCDelay
+	i.mu.Unlock()
+
+	f := RPCFault{Seq: seq}
+	if severed {
+		i.record(Point{KindSeverRPC, seq, 0})
+		f.Severed = true
+		return f
+	}
+	if dropRule {
+		i.record(Point{KindDropRPC, seq, 0})
+		f.Drop = true
+	}
+	if i.fire(Point{KindDropRPC, seq, 0}) {
+		f.Drop = true
+	}
+	if i.fire(Point{KindDelayRPC, seq, 0}) {
+		f.Delay = delay
+	}
+	if i.fire(Point{KindDupRPC, seq, 0}) {
+		f.Dup = true
+	}
+	i.mu.Lock()
+	for p, n := range i.armed {
+		if p.Kind == KindCorruptRPC && p.A == seq && n > 0 {
+			i.armed[p] = n - 1
+			i.fired = append(i.fired, p)
+			f.Corrupt = true
+			f.CorruptByte = p.B
+			break
+		}
+	}
+	i.mu.Unlock()
+	return f
+}
+
+// record appends a fired point for rule-based faults (sever, drop-every)
+// that have no armed map entry to consume.
+func (i *Injector) record(p Point) {
+	i.mu.Lock()
+	i.fired = append(i.fired, p)
+	i.mu.Unlock()
 }
 
 // CrashAt is the checkpoint writer's between-steps hook: it reports
